@@ -1,0 +1,76 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures (see
+DESIGN.md's per-experiment index) and prints the rows so they can be
+compared with the published plots.  EXPERIMENTS.md records a captured
+run.
+
+Scaling
+-------
+The paper's full-size scenarios (80 brokers / 8,000 subscriptions on a
+cluster; 400–1,000 brokers on SciNet) are minutes-long pure-Python
+simulations, so the harness runs reduced sizes by default.  Environment
+knobs restore the paper's scale:
+
+=====================  =========  ==========================================
+variable               default    meaning
+=====================  =========  ==========================================
+REPRO_BENCH_SCALE      0.15       broker/publisher scale factor (1.0 = paper)
+REPRO_BENCH_SUBS       12,25      subscriptions-per-publisher sweep
+                                  (paper: 50,100,150,200)
+REPRO_BENCH_SCINET     0.08       scale for the SciNet scenarios
+REPRO_BENCH_SEED       2011       master seed
+=====================  =========  ==========================================
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Tuple
+
+import pytest
+
+from repro.experiments.runner import ExperimentRunner
+from repro.workloads.scenarios import Scenario
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.15"))
+BENCH_SUBS = tuple(
+    int(x) for x in os.environ.get("REPRO_BENCH_SUBS", "12,25").split(",")
+)
+SCINET_SCALE = float(os.environ.get("REPRO_BENCH_SCINET", "0.08"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "2011"))
+
+#: The paper's ten approaches, in its presentation order.
+ALL_APPROACHES = (
+    "manual",
+    "automatic",
+    "pairwise-k",
+    "pairwise-n",
+    "fbf",
+    "binpacking",
+    "cram-intersect",
+    "cram-xor",
+    "cram-ios",
+    "cram-iou",
+)
+
+
+def run_matrix(
+    scenarios_by_key: Dict[object, Scenario],
+    approaches: Tuple[str, ...],
+    seed: int = BENCH_SEED,
+) -> Dict[Tuple[object, str], object]:
+    """Run every (scenario, approach) cell of a figure's sweep."""
+    results = {}
+    for key, scenario in scenarios_by_key.items():
+        for approach in approaches:
+            runner = ExperimentRunner(scenario, seed=seed, cram_failure_budget=150)
+            results[(key, approach)] = runner.run(approach)
+    return results
+
+
+def print_figure(title: str, rows: List[dict], columns=None) -> None:
+    from repro.experiments.report import format_rows
+
+    print(f"\n=== {title} ===")
+    print(format_rows(rows, columns=columns))

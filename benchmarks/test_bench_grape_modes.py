@@ -1,0 +1,68 @@
+"""Ablation: GRAPE's objective modes (load vs delay vs mixed).
+
+GRAPE (the paper's reference [5]) trades total broker message rate
+against average delivery delay with a priority weight.  This bench runs
+the same reconfiguration under the pure-load, pure-delay, and mixed
+objectives and reports what each buys on the final deployment.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import BENCH_SCALE, BENCH_SUBS, BENCH_SEED, print_figure
+from repro.core.grape import GrapeRelocator
+from repro.experiments.runner import ExperimentRunner
+from repro.workloads.scenarios import cluster_homogeneous
+
+MODES = (
+    ("load", GrapeRelocator(objective="load", priority=1.0)),
+    ("delay", GrapeRelocator(objective="delay", priority=1.0)),
+    ("mixed-0.5", GrapeRelocator(objective="load", priority=0.5)),
+)
+
+
+def run_modes():
+    # Tight broker bandwidth spreads the deployment over enough brokers
+    # that publisher placement actually matters (a 2-broker tree makes
+    # every GRAPE mode pick the same attachment).
+    scenario = cluster_homogeneous(
+        subscriptions_per_publisher=BENCH_SUBS[-1],
+        scale=BENCH_SCALE,
+        broker_bandwidth_kbps=14.0,
+        measurement_time=40.0,
+    )
+    results = {}
+    for name, grape in MODES:
+        runner = ExperimentRunner(scenario, seed=BENCH_SEED, grape=grape)
+        results[name] = runner.run("cram-ios")
+    return results
+
+
+def test_abl_grape_modes(benchmark):
+    results = benchmark.pedantic(run_modes, rounds=1, iterations=1)
+    rows = [
+        {
+            "grape_mode": name,
+            "allocated_brokers": result.allocated_brokers,
+            "avg_broker_message_rate": round(
+                result.summary.avg_broker_message_rate, 3
+            ),
+            "mean_hop_count": round(result.summary.mean_hop_count, 4),
+            "mean_delivery_delay_ms": round(
+                result.summary.mean_delivery_delay * 1000.0, 2
+            ),
+        }
+        for name, result in results.items()
+    ]
+    print_figure("abl-grape: GRAPE objective comparison (cram-ios)", rows)
+    for name, result in results.items():
+        assert result.summary.delivery_count > 0, name
+        # Publisher placement never changes the broker count.
+        assert result.allocated_brokers == results["load"].allocated_brokers
+    # The delay objective can never yield *more* delivery-weighted hops
+    # than the load objective on the same tree.
+    assert (
+        results["delay"].summary.mean_hop_count
+        <= results["load"].summary.mean_hop_count + 1e-9
+    )

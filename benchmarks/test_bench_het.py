@@ -1,0 +1,92 @@
+"""Heterogeneous-cluster figures (paper §VI, throttled broker tiers).
+
+15 brokers at full network capacity, 25 at 50%, 40 at 25% (scaled), and
+a decreasing subscription share per publisher.  Regenerates the
+message-rate and allocated-broker figures and asserts the paper's
+shapes: capacity-aware approaches consolidate onto the resourceful
+tier; baselines keep the whole pool powered.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import BENCH_SCALE, BENCH_SUBS, print_figure, run_matrix
+from repro.workloads.scenarios import cluster_heterogeneous
+
+APPROACHES = ("manual", "automatic", "pairwise-n", "fbf", "binpacking",
+              "cram-ios", "cram-iou")
+
+_cache = {}
+
+
+def het_results():
+    if not _cache:
+        scenarios = {
+            ns: cluster_heterogeneous(ns=ns, scale=BENCH_SCALE, measurement_time=40.0)
+            for ns in BENCH_SUBS
+        }
+        _cache["scenarios"] = scenarios
+        _cache["results"] = run_matrix(scenarios, APPROACHES)
+    return _cache
+
+
+def _rows(metric_key):
+    cache = het_results()
+    rows = []
+    for ns in BENCH_SUBS:
+        row = {"ns": ns,
+               "total_subscriptions": cache["scenarios"][ns].total_subscriptions}
+        for approach in APPROACHES:
+            row[approach] = cache["results"][(ns, approach)].as_row()[metric_key]
+        rows.append(row)
+    return rows
+
+
+def test_fig_het_message_rate(benchmark):
+    cache = benchmark.pedantic(het_results, rounds=1, iterations=1)
+    print_figure("fig-het-msgrate: avg broker message rate (msg/s), heterogeneous",
+                 _rows("avg_broker_message_rate"))
+    for ns in BENCH_SUBS:
+        results = cache["results"]
+        manual = results[(ns, "manual")].summary.avg_broker_message_rate
+        for approach in ("binpacking", "cram-ios", "cram-iou"):
+            assert results[(ns, approach)].summary.avg_broker_message_rate < manual
+        assert results[(ns, "cram-ios")].message_rate_reduction > 0.3
+
+
+def test_fig_het_brokers(benchmark):
+    cache = benchmark.pedantic(het_results, rounds=1, iterations=1)
+    print_figure("fig-het-brokers: allocated brokers, heterogeneous",
+                 _rows("allocated_brokers"))
+    results = cache["results"]
+    pool = cache["scenarios"][BENCH_SUBS[0]].broker_count
+    for ns in BENCH_SUBS:
+        for baseline in ("manual", "automatic", "pairwise-n"):
+            assert results[(ns, baseline)].allocated_brokers == pool
+        assert results[(ns, "cram-ios")].broker_reduction > 0.4
+        cram = results[(ns, "cram-ios")].extra["phase2_brokers"]
+        binpack = results[(ns, "binpacking")].extra["phase2_brokers"]
+        assert cram <= binpack
+
+
+def test_fig_het_consolidates_onto_resourceful_tier(benchmark):
+    """The allocators fill the 100%-capacity tier first (descending-
+    capacity first fit), leaving the throttled tiers dark."""
+    cache = benchmark.pedantic(het_results, rounds=1, iterations=1)
+    ns = BENCH_SUBS[-1]
+    scenario = cache["scenarios"][ns]
+    specs = {spec.broker_id: spec for spec in scenario.broker_specs()}
+    top = max(spec.total_output_bandwidth for spec in specs.values())
+    result = cache["results"][(ns, "binpacking")]
+    runner_active = [
+        broker_id
+        for broker_id, rate in result.summary.per_broker_rates.items()
+        if rate > 0 and broker_id in specs
+    ]
+    resourceful = [
+        broker_id
+        for broker_id in runner_active
+        if specs[broker_id].total_output_bandwidth == top
+    ]
+    assert resourceful, "at least one full-capacity broker stays active"

@@ -1,0 +1,111 @@
+"""Homogeneous-cluster figures (paper §VI, cluster testbed).
+
+Regenerates, at the configured scale, the four homogeneous-scenario
+figures: average broker message rate, number of allocated brokers,
+average delivery delay, and average hop count — each as a function of
+the total number of subscriptions, for all ten approaches.
+
+The paper's headline shapes asserted here:
+
+* the CROC-driven approaches deallocate the vast majority of brokers
+  (up to 91% in the paper) while MANUAL/AUTOMATIC/PAIRWISE keep all;
+* the average broker message rate drops sharply (up to 92% in the
+  paper) for the capacity-aware approaches;
+* BIN PACKING never allocates more brokers than FBF;
+* CRAM never allocates more brokers than BIN PACKING;
+* hop counts collapse (publishers end up next to their subscribers).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import ALL_APPROACHES, BENCH_SCALE, BENCH_SUBS, print_figure, run_matrix
+from repro.workloads.scenarios import cluster_homogeneous
+
+_cache = {}
+
+
+def homo_results():
+    if not _cache:
+        scenarios = {
+            subs: cluster_homogeneous(
+                subscriptions_per_publisher=subs,
+                scale=BENCH_SCALE,
+                measurement_time=40.0,
+            )
+            for subs in BENCH_SUBS
+        }
+        _cache["scenarios"] = scenarios
+        _cache["results"] = run_matrix(scenarios, ALL_APPROACHES)
+    return _cache
+
+
+def _rows(metric_key):
+    cache = homo_results()
+    rows = []
+    for subs in BENCH_SUBS:
+        scenario = cache["scenarios"][subs]
+        row = {"total_subscriptions": scenario.total_subscriptions}
+        for approach in ALL_APPROACHES:
+            result = cache["results"][(subs, approach)]
+            row[approach] = result.as_row()[metric_key]
+        rows.append(row)
+    return rows
+
+
+def test_fig_homo_message_rate(benchmark):
+    cache = benchmark.pedantic(homo_results, rounds=1, iterations=1)
+    rows = _rows("avg_broker_message_rate")
+    print_figure("fig-homo-msgrate: avg broker message rate (msg/s)", rows)
+    for subs in BENCH_SUBS:
+        results = cache["results"]
+        manual = results[(subs, "manual")].summary.avg_broker_message_rate
+        for approach in ("binpacking", "fbf", "cram-ios", "cram-iou", "cram-intersect"):
+            measured = results[(subs, approach)].summary.avg_broker_message_rate
+            assert measured < manual, (
+                f"{approach} should beat MANUAL at {subs} subs/publisher"
+            )
+        cram = results[(subs, "cram-ios")]
+        assert cram.message_rate_reduction > 0.4
+
+
+def test_fig_homo_brokers(benchmark):
+    cache = benchmark.pedantic(homo_results, rounds=1, iterations=1)
+    rows = _rows("allocated_brokers")
+    print_figure("fig-homo-brokers: allocated brokers", rows)
+    results = cache["results"]
+    pool = cache["scenarios"][BENCH_SUBS[0]].broker_count
+    for subs in BENCH_SUBS:
+        for baseline in ("manual", "automatic", "pairwise-k", "pairwise-n"):
+            assert results[(subs, baseline)].allocated_brokers == pool
+        # Phase-2 invariants (the Phase-3 tree may add internal brokers
+        # differently per allocator, so comparisons use phase2_brokers).
+        fbf = results[(subs, "fbf")].extra["phase2_brokers"]
+        binpack = results[(subs, "binpacking")].extra["phase2_brokers"]
+        assert binpack <= fbf, "BIN PACKING never uses more brokers than FBF"
+        for metric in ("intersect", "xor", "ios", "iou"):
+            cram = results[(subs, f"cram-{metric}")].extra["phase2_brokers"]
+            assert cram <= binpack, "CRAM starts from the BIN PACKING scheme"
+        assert results[(subs, "cram-ios")].broker_reduction > 0.5
+
+
+def test_fig_homo_delay(benchmark):
+    benchmark.pedantic(homo_results, rounds=1, iterations=1)
+    rows = _rows("mean_delivery_delay_ms")
+    print_figure("fig-homo-delay: mean delivery delay (ms)", rows)
+    results = homo_results()["results"]
+    for subs in BENCH_SUBS:
+        for approach in ALL_APPROACHES:
+            assert results[(subs, approach)].summary.delivery_count > 0
+
+
+def test_fig_homo_hops(benchmark):
+    cache = benchmark.pedantic(homo_results, rounds=1, iterations=1)
+    rows = _rows("mean_hop_count")
+    print_figure("fig-homo-hops: mean publication hop count", rows)
+    results = cache["results"]
+    for subs in BENCH_SUBS:
+        manual = results[(subs, "manual")].summary.mean_hop_count
+        for approach in ("binpacking", "cram-ios", "cram-iou"):
+            assert results[(subs, approach)].summary.mean_hop_count < manual

@@ -1,0 +1,88 @@
+"""Ablation: the three Phase-3 overlay-construction optimizations.
+
+Paper Section V introduces (A) pure-forwarder elimination, (B) child
+takeover, and (C) best-fit broker replacement, all aimed at shaving
+further brokers off the tree.  This bench builds the overlay for the
+same Phase-2 allocation with each optimization disabled and reports the
+resulting tree sizes and shapes.
+
+The pool mixes a big-broker tier (leaves and internal nodes) with a
+small-broker tier that only best-fit replacement can exploit, so every
+optimization has room to act.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import BENCH_SUBS, print_figure
+from repro.core.binpacking import BinPackingAllocator
+from repro.core.overlay_builder import OverlayBuilder
+from repro.core.units import units_from_records
+from repro.workloads.offline import offline_gather
+from repro.workloads.scenarios import BrokerTier, Scenario
+
+VARIANTS = (
+    ("full", {}),
+    ("no-forwarder-elimination", {"eliminate_pure_forwarders": False}),
+    ("no-takeover", {"takeover_children": False}),
+    ("no-best-fit", {"best_fit_replacement": False}),
+    ("none", {
+        "eliminate_pure_forwarders": False,
+        "takeover_children": False,
+        "best_fit_replacement": False,
+    }),
+)
+
+
+def build_all():
+    scenario = Scenario(
+        name="abl-overlay",
+        tiers=(BrokerTier(count=20, bandwidth_kbps=8.0),
+               BrokerTier(count=10, bandwidth_kbps=2.5)),
+        publishers=6,
+        subscription_counts=(BENCH_SUBS[-1],) * 6,
+    )
+    gathered = offline_gather(scenario, seed=2011)
+    units = units_from_records(gathered.records, gathered.directory)
+    allocation = BinPackingAllocator().allocate(
+        units, gathered.broker_pool, gathered.directory
+    )
+    assert allocation.success
+    rows = []
+    trees = {}
+    for name, kwargs in VARIANTS:
+        builder = OverlayBuilder(BinPackingAllocator, **kwargs)
+        tree = builder.build(allocation, gathered.broker_pool, gathered.directory)
+        tree.validate()
+        stats = builder.last_stats
+        rows.append({
+            "variant": name,
+            "tree_brokers": len(tree),
+            "height": tree.height(),
+            "forwarders_removed": stats.pure_forwarders_eliminated,
+            "takeovers": stats.children_taken_over,
+            "best_fit_swaps": stats.best_fit_replacements,
+            "fallback_roots": stats.fallback_roots,
+        })
+        trees[name] = (tree, stats)
+    return rows, trees, len(units)
+
+
+def test_abl_overlay_optimizations(benchmark):
+    rows, trees, total_units = benchmark.pedantic(build_all, rounds=1, iterations=1)
+    print_figure("abl-overlay-opts: Phase-3 optimization ablation", rows)
+    full_tree, full_stats = trees["full"]
+    none_tree, _ = trees["none"]
+    # The optimizations never enlarge the tree and, at this scale,
+    # strictly shrink it (a forwarder or an absorbable child exists).
+    assert len(full_tree) < len(none_tree)
+    # With everything on, at least one optimization fired.
+    assert (
+        full_stats.pure_forwarders_eliminated
+        + full_stats.children_taken_over
+        + full_stats.best_fit_replacements
+    ) >= 1
+    # Every variant still places every subscription.
+    for name, (tree, _stats) in trees.items():
+        assert len(tree.subscription_placement()) == total_units, name

@@ -1,0 +1,58 @@
+"""Large-scale SciNet table (paper §VI-A).
+
+The paper deploys 400 brokers / 72 publishers and 1,000 brokers /
+100 publishers (225 subscriptions per publisher) on the SciNet HPC
+cluster, with enough publishers to initially saturate the MANUAL
+baseline.  This bench regenerates the table at ``REPRO_BENCH_SCINET``
+scale (default 0.08 → 32 and 80 brokers) and asserts the same shape:
+massive broker deallocation and message-rate reduction at scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import SCINET_SCALE, print_figure, run_matrix
+from repro.workloads.scenarios import scinet
+
+APPROACHES = ("manual", "binpacking", "cram-ios")
+
+_cache = {}
+
+
+def scinet_results():
+    if not _cache:
+        scenarios = {
+            brokers: scinet(brokers=brokers, scale=SCINET_SCALE,
+                            measurement_time=30.0)
+            for brokers in (400, 1000)
+        }
+        _cache["scenarios"] = scenarios
+        _cache["results"] = run_matrix(scenarios, APPROACHES)
+    return _cache
+
+
+def test_tab_scinet(benchmark):
+    cache = benchmark.pedantic(scinet_results, rounds=1, iterations=1)
+    rows = []
+    for brokers in (400, 1000):
+        scenario = cache["scenarios"][brokers]
+        for approach in APPROACHES:
+            result = cache["results"][(brokers, approach)]
+            rows.append({
+                "network": f"scinet-{brokers} (scaled: {scenario.broker_count})",
+                "approach": approach,
+                "subscriptions": scenario.total_subscriptions,
+                "allocated_brokers": result.allocated_brokers,
+                "broker_reduction_pct": round(100 * result.broker_reduction, 1),
+                "msg_rate_reduction_pct": round(
+                    100 * result.message_rate_reduction, 1
+                ),
+                "mean_hop_count": round(result.summary.mean_hop_count, 3),
+            })
+    print_figure("tab-scinet: large-scale deployments", rows)
+    for brokers in (400, 1000):
+        result = cache["results"][(brokers, "cram-ios")]
+        assert result.broker_reduction > 0.6
+        assert result.message_rate_reduction > 0.3
+        assert result.summary.delivery_count > 0

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Anatomy of the three phases, driven through the public API directly.
+
+Rather than going through the experiment runner, this example drives
+CROC's machinery by hand on a live overlay:
+
+  Phase 1 — flood a BIR, inspect the bit-vector profiles that come back;
+  Phase 2 — run CRAM step by step and look at the GIFs and clusters;
+  Phase 3 — build the tree, print it, and watch GRAPE pick publisher
+            attachment points.
+
+Run:  python examples/allocation_anatomy.py
+"""
+
+from repro.core.binpacking import BinPackingAllocator
+from repro.core.cram import CramAllocator
+from repro.core.croc import Croc
+from repro.core.gif import build_gifs, gif_reduction_ratio
+from repro.core.grape import GrapeRelocator
+from repro.core.overlay_builder import OverlayBuilder
+from repro.core.units import units_from_records
+from repro.experiments.runner import ExperimentRunner
+from repro.workloads import scenarios
+
+
+def print_tree(tree, broker, prefix=""):
+    units = tree.broker_units.get(broker, [])
+    real = sum(unit.subscription_count for unit in units if unit.kind == "subscription")
+    label = f"{broker}  ({real} subscriptions)" if real else broker
+    print(f"{prefix}{label}")
+    kids = tree.children(broker)
+    for index, child in enumerate(kids):
+        last = index == len(kids) - 1
+        print_tree(tree, child, prefix + ("  " if prefix == "" else "   "))
+
+
+def main() -> None:
+    scenario = scenarios.cluster_homogeneous(
+        subscriptions_per_publisher=16, scale=0.15, measurement_time=10.0
+    )
+    runner = ExperimentRunner(scenario, seed=21)
+
+    # Deploy MANUAL and let the CBCs profile the workload.
+    network = runner._build_network()
+    runner._deploy_manual(network)
+    network.run(scenario.derived_profiling_time())
+
+    # ----- Phase 1: information gathering --------------------------------
+    croc = Croc(allocator_factory=lambda: CramAllocator(metric="ios"),
+                grape=GrapeRelocator(objective="load"))
+    gathered = croc.gather(network)
+    print(f"Phase 1: {len(gathered.broker_pool)} BIA reports, "
+          f"{gathered.subscription_count} subscription profiles, "
+          f"{len(gathered.directory)} publishers")
+    sample = gathered.records[0]
+    adv_id = next(iter(sample.profile.adv_ids()))
+    vector = sample.profile.vector(adv_id)
+    print(f"  e.g. {sample.sub_id}: bit vector for {adv_id} has "
+          f"{vector.cardinality}/{vector.capacity} bits set "
+          f"(first_id={vector.first_id})")
+
+    # ----- Phase 2: subscription allocation ------------------------------
+    units = units_from_records(gathered.records, gathered.directory)
+    gifs = build_gifs(units)
+    print(f"\nPhase 2: {len(units)} units → {len(gifs)} GIFs "
+          f"({100 * gif_reduction_ratio(len(units), len(gifs)):.0f}% reduction)")
+    cram = CramAllocator(metric="ios")
+    allocation = cram.allocate(units, gathered.broker_pool, gathered.directory)
+    stats = cram.last_stats
+    print(f"  CRAM: {stats.iterations} iterations, {stats.merges} merges, "
+          f"{stats.failures} failed attempts, "
+          f"{stats.closeness_evaluations} closeness evaluations")
+    print(f"  allocated brokers: {allocation.broker_count} "
+          f"(mean utilization {allocation.mean_utilization():.2f})")
+    baseline = BinPackingAllocator().allocate(
+        units, gathered.broker_pool, gathered.directory
+    )
+    print(f"  plain BIN PACKING for comparison: {baseline.broker_count} brokers")
+
+    # ----- Phase 3: overlay construction + GRAPE --------------------------
+    builder = OverlayBuilder(lambda: CramAllocator(metric="ios"))
+    tree = builder.build(allocation, gathered.broker_pool, gathered.directory)
+    print(f"\nPhase 3: tree of {len(tree)} brokers, height {tree.height()}")
+    print(f"  optimizations: {builder.last_stats.pure_forwarders_eliminated} pure "
+          f"forwarders removed, {builder.last_stats.children_taken_over} children "
+          f"taken over, {builder.last_stats.best_fit_replacements} best-fit swaps")
+    print_tree(tree, tree.root)
+
+    grape = GrapeRelocator(objective="load")
+    print("\nGRAPE placements:")
+    for adv_id, publisher in sorted(gathered.directory.items()):
+        decision = grape.place_one(tree, adv_id, publisher)
+        print(f"  {adv_id:12s} → {decision.broker_id}  "
+              f"(load score {decision.load_score:.2f} msg/s)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Language independence: the framework on a monitoring workload.
+
+The paper's framework clusters on *bit vectors*, never on the
+subscription language, so it must work unchanged on any workload.
+This example swaps the stock-quote domain for a data-center
+monitoring feed — host agents publishing metric samples, operators
+subscribing to dashboards, rollups, threshold alerts, and severity
+filters — and runs the exact same CROC pipeline on it.
+
+Run:  python examples/datacenter_monitoring.py
+"""
+
+from repro.core.capacity import BrokerSpec, MatchingDelayFunction
+from repro.core.cram import CramAllocator
+from repro.core.croc import Croc
+from repro.core.baselines import manual_deployment
+from repro.pubsub.client import PublisherClient, SubscriberClient
+from repro.pubsub.network import PubSubNetwork
+from repro.sim.rng import SeededRng
+from repro.workloads.monitoring import (
+    MetricFeed,
+    build_hosts,
+    metric_advertisement,
+    monitoring_subscriptions,
+)
+
+BROKERS = 16
+HOSTS = 12
+SUBSCRIPTIONS = 120
+SAMPLE_RATE = 2.0  # metric samples per second per host
+MEASURE = 40.0
+
+
+def main() -> None:
+    rng = SeededRng(7, "monitoring-example")
+    network = PubSubNetwork(profile_capacity=128)
+    for index in range(BROKERS):
+        network.add_broker(BrokerSpec(
+            broker_id=f"M{index:02d}",
+            total_output_bandwidth=40.0,
+            delay_function=MatchingDelayFunction(base=1e-4, per_subscription=1e-6),
+        ))
+
+    hosts = build_hosts(HOSTS, rng)
+    for host, role in hosts:
+        network.register_publisher(PublisherClient(
+            client_id=f"agent-{host}",
+            advertisement=metric_advertisement(host, role),
+            feed=MetricFeed(host, role, rng),
+            rate=SAMPLE_RATE,
+            size_kb=0.3,
+        ))
+    for subscription in monitoring_subscriptions(hosts, SUBSCRIPTIONS, rng):
+        network.register_subscriber(
+            SubscriberClient(subscription.subscriber_id, [subscription])
+        )
+
+    deployment = manual_deployment(
+        network.broker_pool(),
+        [s.sub_id for sub in network.subscribers.values()
+         for s in sub.subscriptions],
+        [p.adv_id for p in network.publishers.values()],
+        rng.child("manual"),
+    )
+    network.apply_deployment(deployment)
+
+    profiling = network.profile_capacity / SAMPLE_RATE + 5.0
+    network.run(profiling)
+    network.metrics.reset_window()
+    network.run(MEASURE)
+    pool = network.broker_pool()
+    bandwidths = {s.broker_id: s.total_output_bandwidth for s in pool}
+    before = network.metrics.summary(len(pool), network.active_brokers, bandwidths)
+    print(f"MANUAL:   {before.active_brokers} brokers, "
+          f"{before.avg_broker_message_rate:.2f} msg/s avg broker rate, "
+          f"{before.mean_hop_count:.2f} hops")
+
+    croc = Croc(allocator_factory=lambda: CramAllocator(metric="ios"))
+    report = croc.reconfigure(network)
+    stats = croc.last_allocator.last_stats
+    print(f"CRAM saw {stats.initial_units} subscriptions → "
+          f"{stats.initial_gifs} GIFs → {stats.final_units} clusters "
+          f"({stats.merges} merges) — no stock-specific code involved")
+
+    network.metrics.reset_window()
+    network.run(MEASURE)
+    after = network.metrics.summary(len(pool), network.active_brokers, bandwidths)
+    print(f"CRAM-IOS: {after.active_brokers} brokers, "
+          f"{after.avg_broker_message_rate:.2f} msg/s avg broker rate, "
+          f"{after.mean_hop_count:.2f} hops")
+    reduction = 1 - after.avg_broker_message_rate / before.avg_broker_message_rate
+    print(f"\nSame pipeline, different language and distribution: "
+          f"{100 * reduction:.1f}% message-rate reduction, "
+          f"{before.active_brokers} → {after.active_brokers} brokers.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Green consolidation in a heterogeneous data center.
+
+The paper's heterogeneous scenario: three broker tiers (100% / 50% /
+25% of full network capacity, throttled by the per-broker bandwidth
+limiter) and a skewed subscription population (publisher i serves a
+decreasing share of subscribers).  This example compares every
+approach class on the same workload and prints the figure-style table:
+who deallocates brokers, who overloads them, and what it costs in
+delivery hops.
+
+Run:  python examples/green_datacenter.py  [--full]
+"""
+
+import sys
+
+from repro import ExperimentRunner, scenarios
+from repro.experiments.report import format_rows
+
+APPROACHES = ("manual", "automatic", "pairwise-n", "binpacking", "fbf", "cram-ios")
+
+
+def main() -> None:
+    scale = 0.5 if "--full" in sys.argv else 0.15
+    scenario = scenarios.cluster_heterogeneous(
+        ns=30,
+        scale=scale,
+        measurement_time=40.0,
+    )
+    specs = scenario.broker_specs()
+    tiers = sorted({spec.total_output_bandwidth for spec in specs}, reverse=True)
+    print(f"scenario: {scenario.name}")
+    print(f"  broker tiers (kB/s): {tiers}")
+    print(f"  subscriptions per publisher: {list(scenario.subscription_counts)}")
+    print()
+
+    rows = []
+    for approach in APPROACHES:
+        runner = ExperimentRunner(scenario, seed=7)
+        result = runner.run(approach)
+        row = result.as_row()
+        row["mean_utilization"] = result.summary.mean_utilization
+        rows.append(row)
+        print(f"  ran {approach:12s} → {result.allocated_brokers} brokers")
+
+    print()
+    print(format_rows(rows, columns=[
+        "approach", "allocated_brokers", "broker_reduction_pct",
+        "avg_broker_message_rate", "msg_rate_reduction_pct",
+        "mean_hop_count", "mean_delivery_delay_ms", "mean_utilization",
+    ]))
+    print(
+        "\nReading the table: the capacity-aware approaches (binpacking, fbf,"
+        "\ncram-*) deallocate most of the data center while the baselines keep"
+        "\nevery broker powered; CRAM additionally clusters subscriptions of"
+        "\nsimilar interests, yielding the lowest system-wide message rate."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""The operator's toolbox: trace, visualize, audit, archive.
+
+Beyond the headline algorithms, running a reconfigurable
+publish/subscribe system needs day-2 tooling.  This example strings the
+library's operational features together on one small deployment:
+
+* trace a single publication hop-by-hop through the overlay;
+* render the broker tree CROC built, with loads and publishers;
+* validate the plan against the profiles before trusting it;
+* archive the deployment as JSON and load it back.
+
+Run:  python examples/operators_toolbox.py
+"""
+
+import io
+
+from repro.core.cram import CramAllocator
+from repro.core.croc import Croc
+from repro.core.plan_io import load_deployment, save_deployment
+from repro.core.validation import validate_deployment
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.visualize import render_broker_loads, render_deployment
+from repro.pubsub.tracing import MessageTracer
+from repro.workloads import scenarios
+
+
+def main() -> None:
+    scenario = scenarios.cluster_homogeneous(
+        subscriptions_per_publisher=16,
+        scale=0.15,
+        broker_bandwidth_kbps=14.0,  # spread the tree over several brokers
+        measurement_time=20.0,
+    )
+    runner = ExperimentRunner(scenario, seed=31)
+    network = runner._build_network()
+    runner._deploy_manual(network)
+    network.run(scenario.derived_profiling_time())
+
+    croc = Croc(allocator_factory=lambda: CramAllocator(metric="ios"))
+    report = croc.reconfigure(network)
+
+    # ----- audit the plan -------------------------------------------------
+    specs = {spec.broker_id: spec for spec in report.gather.broker_pool}
+    validation = validate_deployment(
+        report.deployment, report.gather.records, report.gather.directory, specs
+    )
+    verdict = "OK" if validation.ok else f"{len(validation.violations)} violations"
+    print(f"plan validation: {verdict}")
+
+    # ----- visualize the overlay ------------------------------------------
+    print()
+    print(render_deployment(report.deployment, report.gather.directory))
+
+    # ----- trace one publication ------------------------------------------
+    symbol = scenario.symbols[0]
+    adv_id = f"adv-{symbol}"
+    tracer = MessageTracer(adv_ids={adv_id})
+    network.tracer = tracer
+    network.run(3.0)
+    network.tracer = None
+    message_id = max(
+        (event.message_id for event in tracer.events), default=None
+    )
+    if message_id is not None:
+        print(f"\njourney of {adv_id}#{message_id}:")
+        print(tracer.render_route(adv_id, message_id))
+        print(f"brokers visited: {tracer.brokers_visited(adv_id, message_id)}")
+        print(f"deliveries:      {tracer.delivery_count(adv_id, message_id)}")
+
+    # ----- measure and show per-broker load --------------------------------
+    network.metrics.reset_window()
+    network.run(scenario.measurement_time)
+    pool = network.broker_pool()
+    summary = network.metrics.summary(
+        len(pool), network.active_brokers,
+        {s.broker_id: s.total_output_bandwidth for s in pool},
+    )
+    active_rates = {
+        broker: rate
+        for broker, rate in summary.per_broker_rates.items()
+        if broker in network.active_brokers
+    }
+    print("\nper-broker message rates:")
+    print(render_broker_loads(active_rates))
+
+    # ----- archive and restore the plan ------------------------------------
+    buffer = io.StringIO()
+    save_deployment(report.deployment, buffer)
+    print(f"\narchived plan: {len(buffer.getvalue())} bytes of JSON")
+    buffer.seek(0)
+    restored = load_deployment(buffer)
+    assert sorted(restored.tree.edges()) == sorted(report.deployment.tree.edges())
+    print("restored plan matches the live deployment.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""repro — Green Resource Allocation Algorithms for Publish/Subscribe Systems.
+
+A complete, simulator-hosted reproduction of Cheung & Jacobsen,
+ICDCS 2011.  See DESIGN.md for the system inventory and EXPERIMENTS.md
+for the paper-vs-measured record.
+
+Quickstart::
+
+    from repro import scenarios, ExperimentRunner
+
+    scenario = scenarios.cluster_homogeneous(subscriptions_per_publisher=25)
+    runner = ExperimentRunner(scenario, seed=7)
+    result = runner.run("cram-ios")
+    print(result.summary.as_row())
+"""
+
+__version__ = "1.0.0"
+
+from repro import core, pubsub, sim, workloads
+from repro.core import (
+    BinPackingAllocator,
+    BitVector,
+    BrokerSpec,
+    CramAllocator,
+    Croc,
+    Deployment,
+    FbfAllocator,
+    GrapeRelocator,
+    MatchingDelayFunction,
+    OverlayBuilder,
+    PublisherProfile,
+    SubscriptionProfile,
+)
+from repro.experiments.runner import APPROACHES, ExperimentResult, ExperimentRunner
+from repro.workloads import scenarios
+
+__all__ = [
+    "core",
+    "pubsub",
+    "sim",
+    "workloads",
+    "scenarios",
+    "BinPackingAllocator",
+    "BitVector",
+    "BrokerSpec",
+    "CramAllocator",
+    "Croc",
+    "Deployment",
+    "FbfAllocator",
+    "GrapeRelocator",
+    "MatchingDelayFunction",
+    "OverlayBuilder",
+    "PublisherProfile",
+    "SubscriptionProfile",
+    "APPROACHES",
+    "ExperimentResult",
+    "ExperimentRunner",
+    "__version__",
+]

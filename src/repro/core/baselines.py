@@ -1,0 +1,112 @@
+"""MANUAL and AUTOMATIC baseline deployments (paper §VI).
+
+MANUAL is the paper's initial topology for every experiment: a
+fan-out-2 broker tree (to minimize the chance of overloading internal
+brokers) with publishers placed randomly.  Under the homogeneous
+scenario subscribers are placed randomly too; under the heterogeneous
+scenario the most resourceful brokers sit at the top of the tree and
+subscribers are spread proportionally to broker resource levels.
+
+AUTOMATIC wires the broker overlay randomly and places all clients
+randomly.  Both are "representative of typical publish/subscribe
+deployments where the measure of a good topology is not easily
+quantifiable".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.capacity import BrokerSpec, sorted_broker_pool
+from repro.core.deployment import BrokerTree, Deployment
+from repro.sim.rng import SeededRng
+
+
+def _fanout_tree(broker_ids: Sequence[str], fanout: int = 2) -> BrokerTree:
+    """A complete ``fanout``-ary tree in the given broker order."""
+    tree = BrokerTree(broker_ids[0])
+    for index in range(1, len(broker_ids)):
+        parent = broker_ids[(index - 1) // fanout]
+        tree.add_broker(broker_ids[index], parent)
+    return tree
+
+
+def _random_tree(broker_ids: Sequence[str], rng: SeededRng) -> BrokerTree:
+    """A uniformly random recursive tree (random attachment)."""
+    order = rng.shuffled(broker_ids)
+    tree = BrokerTree(order[0])
+    for index in range(1, len(order)):
+        parent = order[rng.randint(0, index - 1)]
+        tree.add_broker(order[index], parent)
+    return tree
+
+
+def _proportional_choice(
+    rng: SeededRng, brokers: Sequence[BrokerSpec]
+) -> str:
+    """Pick a broker with probability proportional to its bandwidth."""
+    total = sum(spec.total_output_bandwidth for spec in brokers)
+    if total <= 0:
+        return rng.choice(brokers).broker_id
+    point = rng.uniform(0.0, total)
+    cumulative = 0.0
+    for spec in brokers:
+        cumulative += spec.total_output_bandwidth
+        if point <= cumulative:
+            return spec.broker_id
+    return brokers[-1].broker_id
+
+
+def manual_deployment(
+    pool: Sequence[BrokerSpec],
+    subscription_ids: Iterable[str],
+    adv_ids: Iterable[str],
+    rng: SeededRng,
+    heterogeneous: bool = False,
+    fanout: int = 2,
+) -> Deployment:
+    """The paper's MANUAL baseline (and every experiment's start state)."""
+    if not pool:
+        raise ValueError("broker pool is empty")
+    if heterogeneous:
+        ordered = [spec.broker_id for spec in sorted_broker_pool(pool)]
+    else:
+        ordered = sorted(spec.broker_id for spec in pool)
+    tree = _fanout_tree(ordered, fanout)
+    specs = list(pool)
+    subscription_placement: Dict[str, str] = {}
+    for sub_id in subscription_ids:
+        if heterogeneous:
+            subscription_placement[sub_id] = _proportional_choice(rng, specs)
+        else:
+            subscription_placement[sub_id] = rng.choice(ordered)
+    publisher_placement = {adv_id: rng.choice(ordered) for adv_id in adv_ids}
+    return Deployment(
+        tree=tree,
+        subscription_placement=subscription_placement,
+        publisher_placement=publisher_placement,
+        approach="manual",
+    )
+
+
+def automatic_deployment(
+    pool: Sequence[BrokerSpec],
+    subscription_ids: Iterable[str],
+    adv_ids: Iterable[str],
+    rng: SeededRng,
+) -> Deployment:
+    """The AUTOMATIC baseline: everything random."""
+    if not pool:
+        raise ValueError("broker pool is empty")
+    broker_ids = sorted(spec.broker_id for spec in pool)
+    tree = _random_tree(broker_ids, rng)
+    subscription_placement = {
+        sub_id: rng.choice(broker_ids) for sub_id in subscription_ids
+    }
+    publisher_placement = {adv_id: rng.choice(broker_ids) for adv_id in adv_ids}
+    return Deployment(
+        tree=tree,
+        subscription_placement=subscription_placement,
+        publisher_placement=publisher_placement,
+        approach="automatic",
+    )

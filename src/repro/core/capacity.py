@@ -1,0 +1,239 @@
+"""Broker capacity model and the allocation feasibility test.
+
+Paper Section IV-A defines when a broker can accept a subscription:
+
+    "A broker is deemed to have enough capacity to handle a subscription
+    only if by accepting this subscription, its remaining available
+    output bandwidth is greater than 0 and its incoming publication
+    rate is less than or equal to its maximum matching rate.  The
+    maximum matching rate is calculated by taking the inverse of the
+    matching delay computed using the matching delay function supplied
+    in the BIA message."
+
+A :class:`BrokerBin` tracks both constraints incrementally: the used
+output bandwidth is the sum of the delivery bandwidths of the allocated
+units, and the incoming publication rate is the rate of the per-
+publisher **union** of the allocated profiles — a broker receives each
+needed publication once, no matter how many of its subscriptions want
+it.  The union is what rewards co-locating similar subscriptions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.bitvector import BitVector
+from repro.core.profiles import PublisherDirectory, PublisherProfile
+from repro.core.units import AllocationUnit
+
+#: Slack used in floating-point capacity comparisons.
+EPSILON = 1e-9
+
+
+@dataclass(frozen=True)
+class MatchingDelayFunction:
+    """Linear model of per-message matching delay (seconds).
+
+    ``delay(n) = base + per_subscription * n`` where ``n`` is the number
+    of subscriptions in the broker's routing table.  Brokers measure and
+    report this in their BIA message.
+    """
+
+    base: float = 0.0001
+    per_subscription: float = 1.0e-7
+
+    def delay(self, subscription_count: int) -> float:
+        return self.base + self.per_subscription * subscription_count
+
+    def max_matching_rate(self, subscription_count: int) -> float:
+        """Messages per second the broker can match, given ``n`` subs."""
+        delay = self.delay(subscription_count)
+        if delay <= 0:
+            return math.inf
+        return 1.0 / delay
+
+
+@dataclass(frozen=True)
+class BrokerSpec:
+    """Static description of one broker, as reported in its BIA.
+
+    ``total_output_bandwidth`` is in kB/s.  Brokers sort by it because,
+    per the paper's experience with PADRES, the bottleneck of a broker
+    is the forwarding of messages (network I/O), not the processing.
+    """
+
+    broker_id: str
+    total_output_bandwidth: float
+    delay_function: MatchingDelayFunction = field(default_factory=MatchingDelayFunction)
+    url: str = ""
+
+    @property
+    def capacity_key(self):
+        """Deterministic 'most resourceful first' sort key."""
+        return (-self.total_output_bandwidth, self.broker_id)
+
+
+class BrokerBin:
+    """A broker being filled during an allocation run."""
+
+    __slots__ = (
+        "spec",
+        "_directory",
+        "units",
+        "used_bandwidth",
+        "subscription_count",
+        "input_rate",
+        "_adv_vectors",
+        "_adv_cardinality",
+    )
+
+    def __init__(self, spec: BrokerSpec, directory: PublisherDirectory):
+        self.spec = spec
+        self._directory = directory
+        self.units: List[AllocationUnit] = []
+        self.used_bandwidth = 0.0
+        self.subscription_count = 0
+        self.input_rate = 0.0
+        self._adv_vectors: Dict[str, BitVector] = {}
+        self._adv_cardinality: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def remaining_bandwidth(self) -> float:
+        return self.spec.total_output_bandwidth - self.used_bandwidth
+
+    @property
+    def utilization(self) -> float:
+        """Output-bandwidth utilization in [0, 1]."""
+        if self.spec.total_output_bandwidth <= 0:
+            return 1.0 if self.used_bandwidth > 0 else 0.0
+        return min(1.0, self.used_bandwidth / self.spec.total_output_bandwidth)
+
+    def is_empty(self) -> bool:
+        return not self.units
+
+    def _publisher_window(self, adv_id: str, vector: BitVector) -> int:
+        publisher = self._directory.get(adv_id)
+        if publisher is None:
+            return vector.capacity
+        window = publisher.last_message_id - vector.first_id + 1
+        return max(1, min(vector.capacity, window))
+
+    def _rate_increase(self, unit: AllocationUnit) -> float:
+        """Input-rate delta if ``unit`` joined this broker.
+
+        Only the publications *not already flowing* to the broker add
+        input load — the per-publisher union captures that.
+        """
+        increase = 0.0
+        for adv_id, vector in unit.profile.items():
+            if not vector:
+                continue
+            publisher = self._directory.get(adv_id)
+            if publisher is None:
+                continue
+            current = self._adv_vectors.get(adv_id)
+            if current is None:
+                new_cardinality = vector.cardinality
+                old_cardinality = 0
+            else:
+                new_cardinality = current.union_cardinality(vector)
+                old_cardinality = self._adv_cardinality[adv_id]
+            if new_cardinality == old_cardinality:
+                continue
+            window = self._publisher_window(adv_id, vector)
+            fraction = (new_cardinality - old_cardinality) / window
+            increase += min(1.0, fraction) * publisher.publication_rate
+        return increase
+
+    # ------------------------------------------------------------------
+    # Feasibility and mutation
+    # ------------------------------------------------------------------
+    def can_accept(self, unit: AllocationUnit) -> bool:
+        """The paper's two-part feasibility test."""
+        if self.used_bandwidth + unit.delivery_bandwidth > self.spec.total_output_bandwidth + EPSILON:
+            return False
+        subscription_count = self.subscription_count + unit.subscription_count
+        max_rate = self.spec.delay_function.max_matching_rate(subscription_count)
+        return self.input_rate + self._rate_increase(unit) <= max_rate + EPSILON
+
+    def add(self, unit: AllocationUnit) -> None:
+        """Place ``unit`` on this broker (caller checked feasibility)."""
+        self.input_rate += self._rate_increase(unit)
+        for adv_id, vector in unit.profile.items():
+            if not vector:
+                continue
+            current = self._adv_vectors.get(adv_id)
+            if current is None:
+                merged = vector.copy()
+            else:
+                merged = current.union(vector)
+            self._adv_vectors[adv_id] = merged
+            self._adv_cardinality[adv_id] = merged.cardinality
+        self.units.append(unit)
+        self.used_bandwidth += unit.delivery_bandwidth
+        self.subscription_count += unit.subscription_count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BrokerBin({self.spec.broker_id!r}, units={len(self.units)}, "
+            f"bw={self.used_bandwidth:.2f}/{self.spec.total_output_bandwidth:.2f}, "
+            f"in={self.input_rate:.2f} msg/s)"
+        )
+
+
+class AllocationResult:
+    """Outcome of one allocation run (Phase 2 or one Phase-3 layer)."""
+
+    def __init__(
+        self,
+        bins: Sequence[BrokerBin],
+        success: bool,
+        failed_unit: Optional[AllocationUnit] = None,
+    ):
+        self.bins = [bin_ for bin_ in bins if not bin_.is_empty()]
+        self.success = success
+        self.failed_unit = failed_unit
+
+    @property
+    def broker_count(self) -> int:
+        """Number of brokers actually allocated (non-empty bins)."""
+        return len(self.bins)
+
+    @property
+    def broker_ids(self) -> List[str]:
+        return [bin_.spec.broker_id for bin_ in self.bins]
+
+    def assignment(self) -> Dict[str, List[AllocationUnit]]:
+        """broker_id → allocated units."""
+        return {bin_.spec.broker_id: list(bin_.units) for bin_ in self.bins}
+
+    def subscription_placement(self) -> Dict[str, str]:
+        """sub_id → broker_id for every member subscription."""
+        placement: Dict[str, str] = {}
+        for bin_ in self.bins:
+            for unit in bin_.units:
+                for record in unit.members:
+                    placement[record.sub_id] = bin_.spec.broker_id
+        return placement
+
+    def total_subscriptions(self) -> int:
+        return sum(bin_.subscription_count for bin_ in self.bins)
+
+    def mean_utilization(self) -> float:
+        if not self.bins:
+            return 0.0
+        return sum(bin_.utilization for bin_ in self.bins) / len(self.bins)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = "ok" if self.success else "FAILED"
+        return f"AllocationResult({status}, brokers={self.broker_count})"
+
+
+def sorted_broker_pool(pool: Iterable[BrokerSpec]) -> List[BrokerSpec]:
+    """Brokers in descending order of resource capacity (paper §IV-A)."""
+    return sorted(pool, key=lambda spec: spec.capacity_key)

@@ -1,0 +1,523 @@
+"""CRAM: Clustering with Resource Awareness and Minimization (paper §IV-C).
+
+CRAM starts from a plain BIN PACKING allocation and then repeatedly
+clusters the pair of subscriptions (GIFs) with the highest non-zero
+closeness, re-validating the allocation after every merge and undoing
+merges that make the pool unallocatable.  Unlike the pairwise algorithm
+of Riabov et al., the number of clusters is *not* chosen a priori — it
+falls out of the subscriptions' interests and the brokers' resource
+constraints.
+
+The three optimizations from the paper are all implemented and can be
+toggled independently for ablation studies:
+
+1. **GIF grouping** (``enable_gif_grouping``) — subscriptions with equal
+   bit vectors collapse into one Group of Identical Filters.
+2. **Search pruning** (``enable_pruning``) — the poset-driven
+   closest-partner search skips empty-relationship subtrees and stops
+   once closeness starts to decrease.  Disabled, or under the
+   non-prunable XOR metric, the search degrades to an exhaustive scan.
+3. **One-to-many clustering** (``enable_one_to_many``) — for candidate
+   pairs with an intersect relationship, first try clustering each GIF
+   with a greedy-set-cover selection of its covered GIFs (Figure 3).
+
+Per-relationship clustering rules (paper §IV-C.1):
+
+* *equal* (a GIF paired with itself): binary-search the largest
+  allocatable cluster of the GIF's own units, lightest first;
+* *intersect*: cluster the lightest unit from each GIF (after trying
+  optimization 3);
+* *superset/subset*: cluster the lightest unit of the covering GIF with
+  a binary-searched prefix of the covered GIF's units sorted by
+  ascending bandwidth.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.core.binpacking import BinPackingAllocator
+from repro.core.capacity import AllocationResult, BrokerSpec
+from repro.core.closeness import ClosenessMetric, make_metric
+from repro.core.gif import Gif, build_gifs
+from repro.core.poset import Poset
+from repro.core.profiles import PublisherDirectory, SubscriptionProfile
+from repro.core.relations import Relation, relationship
+from repro.core.units import AllocationUnit
+
+#: Marker used in the partner table for "GIF paired with itself".
+SELF_PAIR = "self"
+
+
+@dataclass
+class CramStats:
+    """Diagnostics of one CRAM run (consumed by the benchmark harness)."""
+
+    subscriptions: int = 0
+    initial_units: int = 0
+    initial_gifs: int = 0
+    final_units: int = 0
+    iterations: int = 0
+    merges: int = 0
+    failures: int = 0
+    closeness_evaluations: int = 0
+    initial_search_evaluations: int = 0
+    binpack_runs: int = 0
+
+    @property
+    def gif_reduction(self) -> float:
+        """Fraction of the pool removed by GIF grouping (paper: ≤61%)."""
+        if self.initial_units == 0:
+            return 0.0
+        return 1.0 - self.initial_gifs / self.initial_units
+
+
+@dataclass
+class _PartnerEntry:
+    partner: Union[Gif, str, None]  # Gif, SELF_PAIR, or None
+    value: float
+
+
+class CramAllocator:
+    """The CRAM subscription allocation algorithm.
+
+    Parameters
+    ----------
+    metric:
+        Closeness metric name (``intersect``, ``xor``, ``ios``, ``iou``)
+        or a ready :class:`~repro.core.closeness.ClosenessMetric`.
+    enable_gif_grouping / enable_pruning / enable_one_to_many:
+        Toggle the paper's three optimizations (ablation knobs).
+    failure_budget:
+        Optional cap on the number of *failed* clustering attempts
+        before giving up (the paper runs to exhaustion; the budget keeps
+        XOR — which cannot prune empty relations — bounded in the
+        benchmark harness).
+    """
+
+    def __init__(
+        self,
+        metric: Union[str, ClosenessMetric] = "ios",
+        enable_gif_grouping: bool = True,
+        enable_pruning: bool = True,
+        enable_one_to_many: bool = True,
+        failure_budget: Optional[int] = None,
+        max_iterations: Optional[int] = None,
+    ):
+        if isinstance(metric, str):
+            metric = make_metric(metric)
+        self.metric = metric
+        self.enable_gif_grouping = enable_gif_grouping
+        self.enable_pruning = enable_pruning
+        self.enable_one_to_many = enable_one_to_many
+        self.failure_budget = failure_budget
+        self.max_iterations = max_iterations
+        self.name = f"cram-{metric.name}"
+        self.last_stats = CramStats()
+        self._binpack = BinPackingAllocator()
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def allocate(
+        self,
+        units: Sequence[AllocationUnit],
+        pool: Iterable[BrokerSpec],
+        directory: PublisherDirectory,
+    ) -> AllocationResult:
+        """Allocate, clustering as aggressively as resources allow."""
+        pool = list(pool)
+        stats = CramStats(
+            subscriptions=sum(unit.subscription_count for unit in units),
+            initial_units=len(units),
+        )
+        self.last_stats = stats
+        self.metric.reset_counter()
+
+        base = self._binpack.allocate(units, pool, directory)
+        stats.binpack_runs += 1
+        if not base.success:
+            # Paper: if the unclustered allocation fails, terminate.
+            return base
+        best = base
+
+        state = _CramState(
+            units=units,
+            pool=pool,
+            directory=directory,
+            metric=self.metric,
+            enable_gif_grouping=self.enable_gif_grouping,
+            enable_pruning=self.enable_pruning,
+            stats=stats,
+        )
+        stats.initial_gifs = len(state.gifs)
+        state.refresh_partners()
+        stats.initial_search_evaluations = self.metric.evaluations
+
+        failures = 0
+        while True:
+            if self.max_iterations is not None and stats.iterations >= self.max_iterations:
+                break
+            if self.failure_budget is not None and failures >= self.failure_budget:
+                break
+            pair = state.best_pair()
+            if pair is None:
+                break
+            stats.iterations += 1
+            gif, partner, value = pair
+            outcome = self._attempt(state, gif, partner, value)
+            if outcome is None:
+                state.blacklist(gif, partner)
+                failures += 1
+                stats.failures += 1
+            else:
+                stats.merges += 1
+                # The paper records each successful scheme; since the
+                # objective is broker minimization we keep the latest
+                # scheme that does not *increase* the broker count (the
+                # very first recorded scheme is BIN PACKING's, so CRAM
+                # never returns more brokers than BIN PACKING).  Later
+                # schemes win ties: more clustering, less in-network
+                # traffic for the same broker count.
+                if outcome.broker_count <= best.broker_count:
+                    best = outcome
+        stats.final_units = state.unit_count()
+        stats.closeness_evaluations = self.metric.evaluations
+        return best
+
+    # ------------------------------------------------------------------
+    # Clustering attempts
+    # ------------------------------------------------------------------
+    def _attempt(
+        self,
+        state: "_CramState",
+        gif: Gif,
+        partner: Union[Gif, str],
+        pair_value: float,
+    ) -> Optional[AllocationResult]:
+        """Build and validate one cluster; commit on success."""
+        if partner == SELF_PAIR:
+            return self._attempt_self(state, gif)
+        relation = relationship(gif.profile, partner.profile)
+        if relation is Relation.SUPERSET:
+            return self._attempt_covering(state, coverer=gif, covered=partner)
+        if relation is Relation.SUBSET:
+            return self._attempt_covering(state, coverer=partner, covered=gif)
+        # INTERSECT — or EMPTY, which only the XOR metric lets through.
+        if relation is Relation.INTERSECT and self.enable_one_to_many:
+            for parent in (gif, partner):
+                result = self._attempt_one_to_many(state, parent, pair_value)
+                if result is not None:
+                    return result
+        return state.try_merge([gif.lightest_unit(), partner.lightest_unit()],
+                               sources=[gif, partner])
+
+    def _attempt_self(self, state: "_CramState", gif: Gif) -> Optional[AllocationResult]:
+        """Equal relationship: largest allocatable within-GIF cluster."""
+        ordered = gif.units_ascending_bandwidth()
+        if len(ordered) < 2:
+            return None
+        best_result: Optional[AllocationResult] = None
+        best_k = 0
+        low, high = 2, len(ordered)
+        while low <= high:
+            mid = (low + high) // 2
+            result = state.probe_merge(ordered[:mid], sources=[gif])
+            if result is not None:
+                best_result, best_k = result, mid
+                low = mid + 1
+            else:
+                high = mid - 1
+        if best_result is None:
+            return None
+        return state.commit_merge(ordered[:best_k], sources=[gif], result=best_result)
+
+    def _attempt_covering(
+        self, state: "_CramState", coverer: Gif, covered: Gif
+    ) -> Optional[AllocationResult]:
+        """Superset/subset: coverer's lightest unit + k covered units."""
+        anchor = coverer.lightest_unit()
+        ordered = covered.units_ascending_bandwidth()
+        best_result: Optional[AllocationResult] = None
+        best_k = 0
+        low, high = 1, len(ordered)
+        while low <= high:
+            mid = (low + high) // 2
+            result = state.probe_merge([anchor] + ordered[:mid], sources=[coverer, covered])
+            if result is not None:
+                best_result, best_k = result, mid
+                low = mid + 1
+            else:
+                high = mid - 1
+        if best_result is None:
+            return None
+        return state.commit_merge(
+            [anchor] + ordered[:best_k], sources=[coverer, covered], result=best_result
+        )
+
+    def _attempt_one_to_many(
+        self, state: "_CramState", parent: Gif, pair_value: float
+    ) -> Optional[AllocationResult]:
+        """Optimization 3: cluster ``parent`` with a covered GIF set.
+
+        The Covered GIF Set is chosen greedily (set-cover style) to
+        maximize bit coverage while keeping the cluster's load within
+        the load requirement of the original candidate pair; the CGS is
+        valid only if its closeness with the parent beats the original
+        pair's closeness and the allocation still succeeds.
+        """
+        covered = [g for g in state.poset.covered_gifs(parent) if not g.is_empty()]
+        if not covered:
+            return None
+        anchor = parent.lightest_unit()
+        load_bound = anchor.delivery_bandwidth + pair_value_load_bound(parent, pair_value)
+        cgs: List[Gif] = []
+        cgs_profile: Optional[SubscriptionProfile] = None
+        total_load = anchor.delivery_bandwidth
+        remaining = list(covered)
+        while remaining:
+            def gain(candidate: Gif) -> int:
+                if cgs_profile is None:
+                    return candidate.profile.cardinality
+                return (
+                    cgs_profile.union_cardinality(candidate.profile)
+                    - cgs_profile.cardinality
+                )
+
+            remaining.sort(key=lambda g: (-gain(g), g.gif_id))
+            chosen = remaining[0]
+            if gain(chosen) <= 0:
+                break
+            chosen_unit = chosen.lightest_unit()
+            if total_load + chosen_unit.delivery_bandwidth > load_bound:
+                break
+            cgs.append(chosen)
+            total_load += chosen_unit.delivery_bandwidth
+            cgs_profile = (
+                chosen.profile.copy()
+                if cgs_profile is None
+                else cgs_profile.union(chosen.profile)
+            )
+            remaining.pop(0)
+        if not cgs or cgs_profile is None:
+            return None
+        if self.metric(cgs_profile, parent.profile) <= pair_value:
+            return None
+        merge_units = [anchor] + [g.lightest_unit() for g in cgs]
+        return state.try_merge(merge_units, sources=[parent] + cgs)
+
+
+def pair_value_load_bound(parent: Gif, pair_value: float) -> float:
+    """Load allowance contributed by the original pair's other side.
+
+    The paper bounds the CGS-parent cluster by "the load requirements of
+    the original GIF pair"; the parent's own lightest unit is counted by
+    the caller, so this returns the partner-side allowance.  We use the
+    parent's lightest-unit bandwidth again as a symmetric stand-in when
+    the partner's identity is not threaded through (the bound only
+    stops the greedy loop early; validity is still checked by the
+    closeness comparison and the allocation test).
+    """
+    return parent.lightest_unit().delivery_bandwidth
+
+
+class _CramState:
+    """Mutable state of one CRAM run: GIFs, poset, partner cache."""
+
+    def __init__(
+        self,
+        units: Sequence[AllocationUnit],
+        pool: Sequence[BrokerSpec],
+        directory: PublisherDirectory,
+        metric: ClosenessMetric,
+        enable_gif_grouping: bool,
+        enable_pruning: bool,
+        stats: CramStats,
+    ):
+        self.pool = list(pool)
+        self.directory = directory
+        self.metric = metric
+        self.enable_pruning = enable_pruning
+        self.stats = stats
+        self._binpack = BinPackingAllocator()
+        if enable_gif_grouping:
+            self.gifs: List[Gif] = build_gifs(units)
+        else:
+            self.gifs = [Gif(unit.profile, [unit]) for unit in units]
+        self.poset = Poset()
+        for gif in self.gifs:
+            self.poset.insert(gif)
+        self._by_signature: Dict[Tuple, Gif] = {
+            gif.profile.signature(): gif for gif in self.gifs
+        }
+        self._entries: Dict[int, _PartnerEntry] = {}
+        self._dirty: Set[int] = set()
+        self._blacklist: Set[frozenset] = set()
+        self._gif_by_id: Dict[int, Gif] = {gif.gif_id: gif for gif in self.gifs}
+
+    # ------------------------------------------------------------------
+    # Partner cache
+    # ------------------------------------------------------------------
+    def refresh_partners(self) -> None:
+        for gif in self.gifs:
+            self._entries[gif.gif_id] = self._compute_entry(gif)
+
+    def _compute_entry(self, gif: Gif) -> _PartnerEntry:
+        best = _PartnerEntry(None, 0.0)
+        if gif.unit_count >= 2 and frozenset((gif.gif_id, gif.gif_id)) not in self._blacklist:
+            value = self.metric(gif.profile, gif.profile)
+            if value > 0:
+                best = _PartnerEntry(SELF_PAIR, value)
+
+        def symmetric_update(candidate: Gif, value: float) -> None:
+            if value <= 0:
+                return
+            if frozenset((gif.gif_id, candidate.gif_id)) in self._blacklist:
+                return
+            entry = self._entries.get(candidate.gif_id)
+            if entry is not None and value > entry.value:
+                self._entries[candidate.gif_id] = _PartnerEntry(gif, value)
+
+        if self.enable_pruning:
+            partner, value = self.poset.closest_partner(
+                gif, self.metric, self._blacklist, on_candidate=symmetric_update
+            )
+        else:
+            partner, value = self._exhaustive_partner(gif, symmetric_update)
+        if partner is not None and value > best.value:
+            best = _PartnerEntry(partner, value)
+        return best
+
+    def _exhaustive_partner(self, gif: Gif, on_candidate) -> Tuple[Optional[Gif], float]:
+        """Ablation path: scan every GIF without poset pruning."""
+        best_gif: Optional[Gif] = None
+        best_value = 0.0
+        for other in self.gifs:
+            if other.gif_id == gif.gif_id:
+                continue
+            value = self.metric(gif.profile, other.profile)
+            on_candidate(other, value)
+            if frozenset((gif.gif_id, other.gif_id)) in self._blacklist:
+                continue
+            if value > best_value or (
+                value == best_value
+                and best_gif is not None
+                and value > 0
+                and other.gif_id < best_gif.gif_id
+            ):
+                best_gif = other
+                best_value = value
+        return best_gif, best_value
+
+    def best_pair(self) -> Optional[Tuple[Gif, Union[Gif, str], float]]:
+        """The pair with the highest non-zero closeness, or ``None``."""
+        while self._dirty:
+            gif_id = self._dirty.pop()
+            gif = self._gif_by_id.get(gif_id)
+            if gif is None or gif.is_empty():
+                continue
+            self._entries[gif_id] = self._compute_entry(gif)
+        best: Optional[Tuple[Gif, Union[Gif, str], float]] = None
+        for gif_id, entry in self._entries.items():
+            if entry.partner is None or entry.value <= 0:
+                continue
+            gif = self._gif_by_id.get(gif_id)
+            if gif is None or gif.is_empty():
+                continue
+            if isinstance(entry.partner, Gif) and entry.partner.is_empty():
+                self._dirty.add(gif_id)
+                continue
+            if best is None or entry.value > best[2] or (
+                entry.value == best[2] and gif.gif_id < best[0].gif_id
+            ):
+                best = (gif, entry.partner, entry.value)
+        if best is None and self._dirty:
+            return self.best_pair()
+        return best
+
+    def blacklist(self, gif: Gif, partner: Union[Gif, str]) -> None:
+        if partner == SELF_PAIR:
+            key = frozenset((gif.gif_id, gif.gif_id))
+        else:
+            key = frozenset((gif.gif_id, partner.gif_id))
+            self._dirty.add(partner.gif_id)
+        self._blacklist.add(key)
+        self._dirty.add(gif.gif_id)
+
+    # ------------------------------------------------------------------
+    # Pool bookkeeping
+    # ------------------------------------------------------------------
+    def all_units(self) -> List[AllocationUnit]:
+        return [unit for gif in self.gifs if not gif.is_empty() for unit in gif.units]
+
+    def unit_count(self) -> int:
+        return sum(gif.unit_count for gif in self.gifs)
+
+    def probe_merge(
+        self, merge_units: Sequence[AllocationUnit], sources: Sequence[Gif]
+    ) -> Optional[AllocationResult]:
+        """Test-allocate the pool with ``merge_units`` fused; no commit."""
+        merged = AllocationUnit.merged(list(merge_units), self.directory)
+        doomed = {unit.unit_id for unit in merge_units}
+        pool_units = [
+            unit for unit in self.all_units() if unit.unit_id not in doomed
+        ]
+        pool_units.append(merged)
+        result = self._binpack.allocate(pool_units, self.pool, self.directory)
+        self.stats.binpack_runs += 1
+        if not result.success:
+            return None
+        return result
+
+    def try_merge(
+        self, merge_units: Sequence[AllocationUnit], sources: Sequence[Gif]
+    ) -> Optional[AllocationResult]:
+        """Probe and, on success, commit in one step."""
+        result = self.probe_merge(merge_units, sources)
+        if result is None:
+            return None
+        return self.commit_merge(merge_units, sources, result)
+
+    def commit_merge(
+        self,
+        merge_units: Sequence[AllocationUnit],
+        sources: Sequence[Gif],
+        result: AllocationResult,
+    ) -> AllocationResult:
+        """Apply a validated merge to the GIF pool and poset."""
+        merged = AllocationUnit.merged(list(merge_units), self.directory)
+        for gif in sources:
+            gif.remove_units(merge_units)
+            self._dirty.add(gif.gif_id)
+        signature = merged.profile.signature()
+        home = self._by_signature.get(signature)
+        if home is not None and not (home.is_empty() and home not in self.poset):
+            home.add_unit(merged)
+            self._dirty.add(home.gif_id)
+        else:
+            home = Gif(merged.profile, [merged])
+            self.gifs.append(home)
+            self.poset.insert(home)
+            self._by_signature[signature] = home
+            self._gif_by_id[home.gif_id] = home
+            self._dirty.add(home.gif_id)
+        for gif in sources:
+            if gif.is_empty() and gif.gif_id != home.gif_id:
+                self._retire(gif)
+        return result
+
+    def _retire(self, gif: Gif) -> None:
+        """Remove an emptied GIF from every index."""
+        if gif in self.poset:
+            self.poset.remove(gif)
+        self._entries.pop(gif.gif_id, None)
+        self._gif_by_id.pop(gif.gif_id, None)
+        signature = gif.profile.signature()
+        if self._by_signature.get(signature) is gif:
+            del self._by_signature[signature]
+        self.gifs = [g for g in self.gifs if g.gif_id != gif.gif_id]
+        for gif_id, entry in list(self._entries.items()):
+            if isinstance(entry.partner, Gif) and entry.partner.gif_id == gif.gif_id:
+                self._dirty.add(gif_id)

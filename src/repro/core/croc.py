@@ -1,0 +1,205 @@
+"""CROC — Coordinator for Reconfiguring the Overlay and Clients.
+
+CROC is an external publish/subscribe client (paper §III).  It connects
+to any broker of the running overlay, floods a Broker Information
+Request, and collects the aggregated Broker Information Answers from
+every broker (Phase 1).  With the reported capacities and profiles it
+runs the subscription allocation algorithm (Phase 2), the recursive
+overlay construction (Phase 3), and GRAPE publisher placement, then
+orchestrates the reconfiguration by handing the resulting deployment to
+the network.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.capacity import AllocationResult, BrokerSpec
+from repro.core.deployment import BrokerTree, Deployment
+from repro.core.grape import GrapeRelocator
+from repro.core.overlay_builder import OverlayBuilder
+from repro.core.profiles import PublisherProfile
+from repro.core.units import AllocationUnit, SubscriptionRecord, units_from_records
+from repro.pubsub.message import (
+    BrokerInformationAnswer,
+    BrokerInformationRequest,
+    BrokerReport,
+    CONTROL_MESSAGE_KB,
+)
+
+_croc_ids = itertools.count()
+
+
+class ReconfigurationError(Exception):
+    """Raised when CROC cannot produce a valid deployment."""
+
+
+@dataclass
+class GatherResult:
+    """Everything Phase 1 learned about the running system."""
+
+    broker_pool: List[BrokerSpec]
+    records: List[SubscriptionRecord]
+    directory: Dict[str, PublisherProfile]
+    reports: Dict[str, BrokerReport] = field(default_factory=dict)
+
+    @property
+    def subscription_count(self) -> int:
+        return len(self.records)
+
+
+@dataclass
+class ReconfigurationReport:
+    """Outcome and cost accounting of one CROC run."""
+
+    approach: str
+    deployment: Deployment
+    allocation: AllocationResult
+    gather: GatherResult
+    computation_seconds: float
+
+    @property
+    def allocated_brokers(self) -> int:
+        return len(self.deployment.tree)
+
+
+class Croc:
+    """The coordinator client.
+
+    Parameters
+    ----------
+    allocator_factory:
+        Zero-argument callable producing a fresh Phase-2 allocator
+        (FBF, BIN PACKING, or CRAM).  The same factory drives Phase 3,
+        keeping the allocation scheme consistent across both phases.
+    grape:
+        Publisher relocation policy applied to the finished tree.
+    overlay_builder:
+        Optional pre-configured Phase-3 builder (ablation studies);
+        built from ``allocator_factory`` with all optimizations on when
+        omitted.
+    """
+
+    def __init__(
+        self,
+        allocator_factory: Callable[[], object],
+        grape: Optional[GrapeRelocator] = None,
+        overlay_builder: Optional[OverlayBuilder] = None,
+        approach: Optional[str] = None,
+    ):
+        self._allocator_factory = allocator_factory
+        self.grape = grape if grape is not None else GrapeRelocator(objective="load")
+        self.overlay_builder = (
+            overlay_builder
+            if overlay_builder is not None
+            else OverlayBuilder(allocator_factory)
+        )
+        self.approach = approach or getattr(allocator_factory(), "name", "croc")
+        self.last_allocator = None
+
+    # ------------------------------------------------------------------
+    # Phase 1: information gathering over the live overlay
+    # ------------------------------------------------------------------
+    def gather(self, network, via_broker: Optional[str] = None,
+               timeout: float = 120.0, include_standby: bool = True) -> GatherResult:
+        """Flood a BIR from one broker and await the aggregated BIA.
+
+        ``include_standby`` adds the specs of brokers the coordinator
+        knows about but that are not part of the current overlay (they
+        were deallocated by an earlier reconfiguration and answer no
+        BIR).  Without them, a consolidated system could never grow
+        back when the workload rises — the data-center inventory stays
+        in the pool even while powered down.
+        """
+        brokers = network.active_brokers
+        if not brokers:
+            raise ReconfigurationError("no active brokers to gather from")
+        entry = via_broker if via_broker is not None else brokers[0]
+        croc_id = f"croc-{next(_croc_ids)}"
+        inbox: List[BrokerInformationAnswer] = []
+        network.register_control_client(croc_id, inbox.append)
+        network.brokers[entry].attach_client(croc_id)
+        request = BrokerInformationRequest()
+        network.client_send(croc_id, entry, request, CONTROL_MESSAGE_KB)
+        deadline = network.sim.now + timeout
+        while not inbox and network.sim.now < deadline and network.sim.pending:
+            network.sim.run(until=min(network.sim.now + 0.05, deadline))
+        network.brokers[entry].detach_client(croc_id)
+        if not inbox:
+            raise ReconfigurationError(
+                f"BIR {request.request_id} received no aggregated BIA"
+            )
+        answer = inbox[0]
+        gathered = self._assemble(answer.reports)
+        if include_standby:
+            reported = {spec.broker_id for spec in gathered.broker_pool}
+            for broker_id in sorted(network.brokers):
+                if broker_id not in reported:
+                    gathered.broker_pool.append(network.brokers[broker_id].spec)
+        return gathered
+
+    @staticmethod
+    def _assemble(reports: Dict[str, BrokerReport]) -> GatherResult:
+        """Merge per-broker reports and synchronize all profiles."""
+        directory: Dict[str, PublisherProfile] = {}
+        for report in reports.values():
+            for profile in report.publishers:
+                directory[profile.adv_id] = profile
+        records: List[SubscriptionRecord] = []
+        for broker_id in sorted(reports):
+            report = reports[broker_id]
+            for record in report.subscriptions:
+                record.profile.synchronize(directory)
+                records.append(record)
+        pool = [reports[broker_id].spec for broker_id in sorted(reports)]
+        return GatherResult(
+            broker_pool=pool, records=records, directory=directory, reports=dict(reports)
+        )
+
+    # ------------------------------------------------------------------
+    # Phases 2 + 3 + GRAPE (pure computation, no messaging)
+    # ------------------------------------------------------------------
+    def plan(self, gathered: GatherResult) -> ReconfigurationReport:
+        """Compute a new deployment from gathered information."""
+        started = time.perf_counter()
+        units = units_from_records(gathered.records, gathered.directory)
+        allocator = self._allocator_factory()
+        self.last_allocator = allocator
+        allocation = allocator.allocate(units, gathered.broker_pool, gathered.directory)
+        if not allocation.success:
+            raise ReconfigurationError(
+                f"{self.approach}: subscription pool does not fit the broker pool "
+                f"(failed at unit {allocation.failed_unit!r})"
+            )
+        tree = self.overlay_builder.build(
+            allocation, gathered.broker_pool, gathered.directory
+        )
+        publisher_placement = self.grape.place_publishers(tree, gathered.directory)
+        elapsed = time.perf_counter() - started
+        deployment = Deployment(
+            tree=tree,
+            subscription_placement=tree.subscription_placement(),
+            publisher_placement=publisher_placement,
+            approach=self.approach,
+        )
+        return ReconfigurationReport(
+            approach=self.approach,
+            deployment=deployment,
+            allocation=allocation,
+            gather=gathered,
+            computation_seconds=elapsed,
+        )
+
+    # ------------------------------------------------------------------
+    # Full pipeline
+    # ------------------------------------------------------------------
+    def reconfigure(self, network, settle_time: float = 2.0) -> ReconfigurationReport:
+        """Gather → plan → execute on the live network."""
+        gathered = self.gather(network)
+        report = self.plan(gathered)
+        network.apply_deployment(report.deployment)
+        network.run(settle_time)
+        return report

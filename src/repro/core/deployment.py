@@ -1,0 +1,155 @@
+"""Deployment descriptions: broker trees and complete system layouts.
+
+A :class:`BrokerTree` is the output of Phase 3 — which brokers are
+active, how they are wired, and which allocation units each serves.  A
+:class:`Deployment` adds client placement (where every subscriber and
+publisher attaches) and is what CROC hands to the overlay to execute
+the reconfiguration.  Baseline approaches (MANUAL, AUTOMATIC) produce
+:class:`Deployment` objects directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.core.units import AllocationUnit
+
+
+class BrokerTree:
+    """A rooted tree of active brokers plus their allocated units."""
+
+    def __init__(self, root: str):
+        self.root = root
+        self._children: Dict[str, List[str]] = {root: []}
+        self._parent: Dict[str, Optional[str]] = {root: None}
+        self.broker_units: Dict[str, List[AllocationUnit]] = {root: []}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_broker(self, broker_id: str, parent: str) -> None:
+        if broker_id in self._parent:
+            raise ValueError(f"broker {broker_id!r} already in tree")
+        if parent not in self._parent:
+            raise ValueError(f"parent {parent!r} not in tree")
+        self._children[broker_id] = []
+        self._children[parent].append(broker_id)
+        self._parent[broker_id] = parent
+        self.broker_units.setdefault(broker_id, [])
+
+    def set_units(self, broker_id: str, units: Sequence[AllocationUnit]) -> None:
+        if broker_id not in self._parent:
+            raise ValueError(f"broker {broker_id!r} not in tree")
+        self.broker_units[broker_id] = list(units)
+
+    # ------------------------------------------------------------------
+    # Topology queries
+    # ------------------------------------------------------------------
+    @property
+    def brokers(self) -> List[str]:
+        return list(self._parent)
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def __contains__(self, broker_id: str) -> bool:
+        return broker_id in self._parent
+
+    def children(self, broker_id: str) -> List[str]:
+        return list(self._children.get(broker_id, ()))
+
+    def parent(self, broker_id: str) -> Optional[str]:
+        return self._parent[broker_id]
+
+    def edges(self) -> Iterator[Tuple[str, str]]:
+        """(parent, child) pairs."""
+        for parent, kids in self._children.items():
+            for child in kids:
+                yield (parent, child)
+
+    def depth(self, broker_id: str) -> int:
+        depth = 0
+        node: Optional[str] = broker_id
+        while node is not None and node != self.root:
+            node = self._parent[node]
+            depth += 1
+        return depth
+
+    def height(self) -> int:
+        return max((self.depth(broker) for broker in self._parent), default=0)
+
+    def leaves(self) -> List[str]:
+        return [broker for broker, kids in self._children.items() if not kids]
+
+    def path_to_root(self, broker_id: str) -> List[str]:
+        """Brokers from ``broker_id`` up to (and including) the root."""
+        path = [broker_id]
+        node = self._parent[broker_id]
+        while node is not None:
+            path.append(node)
+            node = self._parent[node]
+        return path
+
+    # ------------------------------------------------------------------
+    # Derived placements
+    # ------------------------------------------------------------------
+    def subscription_placement(self) -> Dict[str, str]:
+        """sub_id → broker_id, from the real (non-pseudo) units."""
+        placement: Dict[str, str] = {}
+        for broker_id, units in self.broker_units.items():
+            for unit in units:
+                for record in unit.members:
+                    placement[record.sub_id] = broker_id
+        return placement
+
+    def validate(self) -> None:
+        """Structural invariants (used by tests): acyclic, connected."""
+        seen: Set[str] = set()
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            assert node not in seen, f"cycle through {node!r}"
+            seen.add(node)
+            stack.extend(self._children[node])
+        assert seen == set(self._parent), "disconnected brokers in tree"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BrokerTree(root={self.root!r}, brokers={len(self)})"
+
+
+@dataclass
+class Deployment:
+    """A complete system layout CROC can execute.
+
+    Attributes
+    ----------
+    tree:
+        Active brokers and their wiring.
+    subscription_placement:
+        sub_id → broker the subscriber should attach to.
+    publisher_placement:
+        adv_id → broker the publisher should attach to.
+    approach:
+        Name of the algorithm that produced this layout (for reports).
+    """
+
+    tree: BrokerTree
+    subscription_placement: Dict[str, str] = field(default_factory=dict)
+    publisher_placement: Dict[str, str] = field(default_factory=dict)
+    approach: str = ""
+
+    @property
+    def active_broker_count(self) -> int:
+        return len(self.tree)
+
+    def validate(self) -> None:
+        self.tree.validate()
+        for sub_id, broker_id in self.subscription_placement.items():
+            assert broker_id in self.tree, (
+                f"subscription {sub_id!r} placed on inactive broker {broker_id!r}"
+            )
+        for adv_id, broker_id in self.publisher_placement.items():
+            assert broker_id in self.tree, (
+                f"publisher {adv_id!r} placed on inactive broker {broker_id!r}"
+            )

@@ -1,0 +1,283 @@
+"""GRAPE: Greedy Relocation Algorithm for Publishers of Events.
+
+After Phase 3, every publisher sits at the root of the new tree.
+GRAPE (Cheung & Jacobsen, the paper's reference [5]) strategically
+relocates each publisher to the broker that minimizes either the total
+broker message rate its traffic induces (*load* objective) or the
+average delivery delay to its subscribers (*delay* objective), with a
+priority weight trading the two off.
+
+On a tree, a publication from attachment point ``v`` crosses edge ``e``
+iff the far side of ``e`` (seen from ``v``) contains a matching
+subscriber; the rate crossing ``e`` is the publication rate times the
+union fraction of bits needed on that side.  Both objectives are
+computed for every candidate broker with two tree passes (rerooting),
+so relocating P publishers over B brokers costs O(P·B) rather than
+O(P·B²).
+
+This module is a faithful re-implementation of GRAPE's *placement
+decision* on the simulated overlay; the original's sampling machinery
+(trace collection at brokers) is subsumed by the bit-vector profiles
+that Phase 1 already collects — the same information GRAPE gathers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.bitvector import BitVector
+from repro.core.deployment import BrokerTree
+from repro.core.profiles import PublisherDirectory, PublisherProfile
+
+
+@dataclass
+class PlacementDecision:
+    """Where one publisher should attach, with its objective scores."""
+
+    adv_id: str
+    broker_id: str
+    load_score: float
+    delay_score: float
+
+
+class GrapeRelocator:
+    """Publisher placement on a finished broker tree.
+
+    Parameters
+    ----------
+    objective:
+        ``"load"`` minimizes total broker message rate; ``"delay"``
+        minimizes the delivery-weighted average hop distance.
+    priority:
+        Weight in [0, 1] given to the primary objective when mixing the
+        two normalized scores (GRAPE's P%).  ``priority=1.0`` uses the
+        primary objective alone.
+    """
+
+    def __init__(self, objective: str = "load", priority: float = 1.0):
+        if objective not in ("load", "delay"):
+            raise ValueError(f"objective must be 'load' or 'delay', got {objective!r}")
+        if not 0.0 <= priority <= 1.0:
+            raise ValueError(f"priority must be within [0, 1], got {priority}")
+        self.objective = objective
+        self.priority = priority
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def place_publishers(
+        self, tree: BrokerTree, directory: PublisherDirectory
+    ) -> Dict[str, str]:
+        """adv_id → broker_id for every publisher in the directory."""
+        placement: Dict[str, str] = {}
+        for adv_id, publisher in directory.items():
+            decision = self.place_one(tree, adv_id, publisher)
+            placement[adv_id] = decision.broker_id
+        return placement
+
+    def place_one(
+        self, tree: BrokerTree, adv_id: str, publisher: PublisherProfile
+    ) -> PlacementDecision:
+        """Choose the attachment broker for one publisher."""
+        needs = self._broker_needs(tree, adv_id, publisher)
+        if not any(fraction > 0 for fraction, _ in needs.values()):
+            # Nobody wants this publisher's traffic: park it at the root
+            # where it costs a single matching operation per message.
+            return PlacementDecision(adv_id, tree.root, 0.0, 0.0)
+        load = self._load_scores(tree, publisher, needs)
+        delay = self._delay_scores(tree, publisher, needs)
+        brokers = tree.brokers
+        max_load = max(load.values()) or 1.0
+        max_delay = max(delay.values()) or 1.0
+        if self.objective == "load":
+            primary, secondary = load, delay
+            primary_max, secondary_max = max_load, max_delay
+        else:
+            primary, secondary = delay, load
+            primary_max, secondary_max = max_delay, max_load
+
+        def score(broker_id: str) -> Tuple[float, str]:
+            mixed = (
+                self.priority * primary[broker_id] / primary_max
+                + (1.0 - self.priority) * secondary[broker_id] / secondary_max
+            )
+            return (mixed, broker_id)
+
+        best = min(brokers, key=score)
+        return PlacementDecision(adv_id, best, load[best], delay[best])
+
+    # ------------------------------------------------------------------
+    # Per-broker demand for one publisher
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _broker_needs(
+        tree: BrokerTree, adv_id: str, publisher: PublisherProfile
+    ) -> Dict[str, Tuple[float, float]]:
+        """broker_id → (union fraction needed, delivery rate) for ``adv_id``.
+
+        The union fraction drives forwarding load (a broker receives
+        each needed publication once); the delivery rate — the *sum* of
+        its subscriptions' fractions — weighs the delay objective, since
+        every matched subscription is a separate delivery.
+        """
+        needs: Dict[str, Tuple[float, float]] = {}
+        for broker_id in tree.brokers:
+            union_vector: Optional[BitVector] = None
+            delivery = 0.0
+            for unit in tree.broker_units.get(broker_id, ()):  # real units only
+                if unit.kind != "subscription":
+                    continue
+                for record in unit.members:
+                    vector = record.profile.vector(adv_id)
+                    if vector is None or not vector:
+                        continue
+                    window = max(
+                        1, min(vector.capacity, publisher.last_message_id - vector.first_id + 1)
+                    )
+                    delivery += min(1.0, vector.cardinality / window) * publisher.publication_rate
+                    union_vector = (
+                        vector.copy() if union_vector is None else union_vector.union(vector)
+                    )
+            if union_vector is None:
+                needs[broker_id] = (0.0, 0.0)
+            else:
+                window = max(
+                    1,
+                    min(
+                        union_vector.capacity,
+                        publisher.last_message_id - union_vector.first_id + 1,
+                    ),
+                )
+                fraction = min(1.0, union_vector.cardinality / window)
+                needs[broker_id] = (fraction, delivery)
+        return needs
+
+    # ------------------------------------------------------------------
+    # Load objective (total forwarding rate) via rerooting
+    # ------------------------------------------------------------------
+    def _load_scores(
+        self,
+        tree: BrokerTree,
+        publisher: PublisherProfile,
+        needs: Dict[str, Tuple[float, float]],
+    ) -> Dict[str, float]:
+        """Total msg/s crossing tree edges if the publisher sat at v.
+
+        For edge (parent, child): traffic toward the child side is the
+        union fraction of everything needed in the child's subtree;
+        traffic toward the parent side is the union needed in the rest
+        of the tree.  ``load(v) = Σ_down(c) over all c  +  Σ over the
+        path root→v of (up(c) − down(c))`` — one O(B) pass plus O(depth)
+        per candidate.
+        """
+        order = self._topo_order(tree)
+        down_union: Dict[str, Optional[BitVector]] = {}
+        for broker_id in reversed(order):  # leaves first
+            union = self._need_vector(tree, broker_id, publisher.adv_id)
+            for child in tree.children(broker_id):
+                child_union = down_union[child]
+                if child_union is not None:
+                    union = child_union.copy() if union is None else union.union(child_union)
+            down_union[broker_id] = union
+        up_union: Dict[str, Optional[BitVector]] = {tree.root: None}
+        for broker_id in order:  # root first
+            kids = tree.children(broker_id)
+            base = self._need_vector(tree, broker_id, publisher.adv_id)
+            parent_up = up_union[broker_id]
+            if parent_up is not None:
+                base = parent_up.copy() if base is None else base.union(parent_up)
+            for child in kids:
+                union = base.copy() if base is not None else None
+                for sibling in kids:
+                    if sibling == child:
+                        continue
+                    sibling_union = down_union[sibling]
+                    if sibling_union is not None:
+                        union = (
+                            sibling_union.copy()
+                            if union is None
+                            else union.union(sibling_union)
+                        )
+                up_union[child] = union
+        rate = publisher.publication_rate
+        down_rate = {
+            broker_id: self._vector_rate(vec, publisher) for broker_id, vec in down_union.items()
+        }
+        up_rate = {
+            broker_id: self._vector_rate(vec, publisher) for broker_id, vec in up_union.items()
+        }
+        total_down = sum(down_rate[child] for _p, child in tree.edges())
+        scores: Dict[str, float] = {}
+        for broker_id in order:
+            score = total_down
+            for node in tree.path_to_root(broker_id):
+                if node == tree.root:
+                    break
+                score += up_rate[node] - down_rate[node]
+            scores[broker_id] = score
+        return scores
+
+    # ------------------------------------------------------------------
+    # Delay objective (delivery-weighted distance) via rerooting
+    # ------------------------------------------------------------------
+    def _delay_scores(
+        self,
+        tree: BrokerTree,
+        publisher: PublisherProfile,
+        needs: Dict[str, Tuple[float, float]],
+    ) -> Dict[str, float]:
+        """Σ_d deliveries(d) · hops(v, d) for every candidate v."""
+        order = self._topo_order(tree)
+        weight = {broker_id: needs[broker_id][1] for broker_id in tree.brokers}
+        total_weight = sum(weight.values())
+        count_down: Dict[str, float] = {}
+        dist_down: Dict[str, float] = {}
+        for broker_id in reversed(order):
+            count = weight[broker_id]
+            dist = 0.0
+            for child in tree.children(broker_id):
+                count += count_down[child]
+                dist += dist_down[child] + count_down[child]
+            count_down[broker_id] = count
+            dist_down[broker_id] = dist
+        scores: Dict[str, float] = {tree.root: dist_down[tree.root]}
+        for broker_id in order:
+            for child in tree.children(broker_id):
+                scores[child] = scores[broker_id] + total_weight - 2.0 * count_down[child]
+        return scores
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _topo_order(tree: BrokerTree) -> List[str]:
+        """Root-first order with children after their parents."""
+        order: List[str] = []
+        stack = [tree.root]
+        while stack:
+            node = stack.pop()
+            order.append(node)
+            stack.extend(tree.children(node))
+        return order
+
+    @staticmethod
+    def _need_vector(tree: BrokerTree, broker_id: str, adv_id: str) -> Optional[BitVector]:
+        union: Optional[BitVector] = None
+        for unit in tree.broker_units.get(broker_id, ()):
+            if unit.kind != "subscription":
+                continue
+            vector = unit.profile.vector(adv_id)
+            if vector is None or not vector:
+                continue
+            union = vector.copy() if union is None else union.union(vector)
+        return union
+
+    @staticmethod
+    def _vector_rate(vector: Optional[BitVector], publisher: PublisherProfile) -> float:
+        if vector is None or not vector:
+            return 0.0
+        window = max(
+            1, min(vector.capacity, publisher.last_message_id - vector.first_id + 1)
+        )
+        return min(1.0, vector.cardinality / window) * publisher.publication_rate

@@ -1,0 +1,113 @@
+"""Serialization of deployments and reconfiguration plans.
+
+CROC's output — which brokers stay on, how they are wired, where every
+client attaches — is exactly what an operator wants to review before
+powering off most of a data center.  This module round-trips
+:class:`~repro.core.deployment.Deployment` objects through plain JSON
+documents (stable key order, no custom types), so plans can be diffed,
+archived, audited, and re-applied later.
+
+The schema is versioned; loaders reject documents from future
+versions instead of mis-reading them.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, IO, Optional, Union
+
+from repro.core.deployment import BrokerTree, Deployment
+
+#: Current schema version written by :func:`deployment_to_dict`.
+SCHEMA_VERSION = 1
+
+
+class PlanFormatError(ValueError):
+    """Raised when a plan document cannot be interpreted."""
+
+
+def deployment_to_dict(deployment: Deployment) -> Dict[str, Any]:
+    """A JSON-ready description of a deployment.
+
+    Only the topology and placements are captured — allocation units
+    (which embed live profile objects) are intentionally excluded; they
+    are an artifact of planning, not of the plan.
+    """
+    tree = deployment.tree
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "approach": deployment.approach,
+        "root": tree.root,
+        "edges": sorted((parent, child) for parent, child in tree.edges()),
+        "subscription_placement": dict(
+            sorted(deployment.subscription_placement.items())
+        ),
+        "publisher_placement": dict(
+            sorted(deployment.publisher_placement.items())
+        ),
+    }
+
+
+def deployment_from_dict(document: Dict[str, Any]) -> Deployment:
+    """Rebuild a deployment from :func:`deployment_to_dict` output."""
+    try:
+        version = document["schema_version"]
+    except (TypeError, KeyError):
+        raise PlanFormatError("missing schema_version") from None
+    if not isinstance(version, int) or version > SCHEMA_VERSION or version < 1:
+        raise PlanFormatError(f"unsupported schema_version {version!r}")
+    try:
+        root = document["root"]
+        edges = [tuple(edge) for edge in document["edges"]]
+        subscription_placement = dict(document["subscription_placement"])
+        publisher_placement = dict(document["publisher_placement"])
+    except (TypeError, KeyError) as exc:
+        raise PlanFormatError(f"malformed plan document: {exc}") from None
+    tree = BrokerTree(root)
+    pending = list(edges)
+    # Edges may arrive in any order; attach children whose parent is
+    # already in the tree until the list drains (or cannot).
+    progress = True
+    while pending and progress:
+        progress = False
+        remaining = []
+        for parent, child in pending:
+            if parent in tree:
+                tree.add_broker(child, parent)
+                progress = True
+            else:
+                remaining.append((parent, child))
+        pending = remaining
+    if pending:
+        raise PlanFormatError(
+            f"edges disconnected from root {root!r}: {sorted(pending)}"
+        )
+    deployment = Deployment(
+        tree=tree,
+        subscription_placement=subscription_placement,
+        publisher_placement=publisher_placement,
+        approach=document.get("approach", ""),
+    )
+    deployment.validate()
+    return deployment
+
+
+def save_deployment(deployment: Deployment,
+                    destination: Union[str, IO[str]]) -> None:
+    """Write a deployment to a path or open text file as JSON."""
+    document = deployment_to_dict(deployment)
+    if isinstance(destination, str):
+        with open(destination, "w") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+    else:
+        json.dump(document, destination, indent=2, sort_keys=True)
+
+
+def load_deployment(source: Union[str, IO[str]]) -> Deployment:
+    """Read a deployment from a path or open text file."""
+    if isinstance(source, str):
+        with open(source) as handle:
+            document = json.load(handle)
+    else:
+        document = json.load(source)
+    return deployment_from_dict(document)

@@ -1,0 +1,65 @@
+"""Relationship identification between subscription profiles.
+
+The paper identifies the relationship among subscriptions *from their
+bit vectors* rather than from the subscription language (the algorithm
+itself lives in the paper's online appendix; this module reconstructs
+it from cardinalities, which is the unique set-theoretic definition).
+
+Five relationships are possible between two profiles ``A`` and ``B``:
+
+==========  =====================================================
+EQUAL       A and B received exactly the same publications
+SUPERSET    A received everything B did, plus more
+SUBSET      B received everything A did, plus more
+INTERSECT   they share some publications but neither covers the other
+EMPTY       they share no publications
+==========  =====================================================
+
+These drive both the poset construction (CRAM optimization 2) and the
+per-relationship clustering rules of CRAM optimization 1.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.core.profiles import SubscriptionProfile
+
+
+class Relation(enum.Enum):
+    """Set relationship between two subscription profiles."""
+
+    EQUAL = "equal"
+    SUPERSET = "superset"
+    SUBSET = "subset"
+    INTERSECT = "intersect"
+    EMPTY = "empty"
+
+    def inverse(self) -> "Relation":
+        """The relation seen from the other operand's point of view."""
+        if self is Relation.SUPERSET:
+            return Relation.SUBSET
+        if self is Relation.SUBSET:
+            return Relation.SUPERSET
+        return self
+
+
+def relationship(first: SubscriptionProfile, second: SubscriptionProfile) -> Relation:
+    """Classify the relationship between two profiles.
+
+    Computed purely from bit-vector cardinalities over the profiles'
+    common observation windows, so it is independent of the
+    publish/subscribe language (topic, content, XPath, graph ...).
+    """
+    intersect = first.intersection_cardinality(second)
+    if intersect == 0:
+        return Relation.EMPTY
+    card_first = first.cardinality
+    card_second = second.cardinality
+    if intersect == card_first and intersect == card_second:
+        return Relation.EQUAL
+    if intersect == card_second:
+        return Relation.SUPERSET
+    if intersect == card_first:
+        return Relation.SUBSET
+    return Relation.INTERSECT

@@ -1,0 +1,204 @@
+"""Post-hoc validation of a planned deployment against the profiles.
+
+CROC's allocators enforce feasibility *incrementally* while packing;
+this module re-derives every broker's expected load from first
+principles — the bit-vector profiles of everything placed on or routed
+through it — and checks the deployment against the broker specs.  It
+is the safety net the paper's operators would want before powering off
+most of a production data center:
+
+* every subscription is placed exactly once, on a broker in the tree;
+* every broker's expected **output** (subscriber deliveries + one
+  stream per child edge) fits its total output bandwidth;
+* every broker's expected **input** (per-publisher union of everything
+  needed in its subtree, plus locally attached publishers) does not
+  exceed its maximum matching rate;
+* every tree edge's stream fits the parent's remaining bandwidth.
+
+`validate_deployment` returns a :class:`ValidationReport` listing every
+violation rather than raising, so callers can decide whether a small
+overshoot (e.g. from profile estimation error) is acceptable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.core.bitvector import BitVector
+from repro.core.capacity import BrokerSpec
+from repro.core.deployment import BrokerTree, Deployment
+from repro.core.profiles import PublisherDirectory, SubscriptionProfile, merge_profiles
+from repro.core.units import SubscriptionRecord
+
+
+@dataclass
+class BrokerLoad:
+    """Expected steady-state load of one broker under a deployment."""
+
+    broker_id: str
+    delivery_bandwidth: float = 0.0
+    stream_bandwidth: float = 0.0
+    input_rate: float = 0.0
+    subscription_count: int = 0
+
+    @property
+    def output_bandwidth(self) -> float:
+        return self.delivery_bandwidth + self.stream_bandwidth
+
+
+@dataclass
+class Violation:
+    """One constraint breach found during validation."""
+
+    broker_id: str
+    kind: str  # "output-bandwidth" | "matching-rate" | "placement"
+    detail: str
+    measured: float = 0.0
+    limit: float = 0.0
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"[{self.kind}] {self.broker_id}: {self.detail}"
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of validating one deployment."""
+
+    loads: Dict[str, BrokerLoad] = field(default_factory=dict)
+    violations: List[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def violations_of(self, kind: str) -> List[Violation]:
+        return [violation for violation in self.violations if violation.kind == kind]
+
+
+def _subtree_profiles(
+    tree: BrokerTree,
+    profiles_by_broker: Mapping[str, List[SubscriptionProfile]],
+) -> Dict[str, SubscriptionProfile]:
+    """broker_id → union profile of everything needed in its subtree."""
+    subtree: Dict[str, SubscriptionProfile] = {}
+
+    def visit(broker_id: str) -> SubscriptionProfile:
+        parts = list(profiles_by_broker.get(broker_id, ()))
+        for child in tree.children(broker_id):
+            parts.append(visit(child))
+        merged = merge_profiles(parts)
+        subtree[broker_id] = merged
+        return merged
+
+    visit(tree.root)
+    return subtree
+
+
+def validate_deployment(
+    deployment: Deployment,
+    records: Sequence[SubscriptionRecord],
+    directory: PublisherDirectory,
+    specs: Mapping[str, BrokerSpec],
+    tolerance: float = 1.05,
+) -> ValidationReport:
+    """Check a deployment against broker capacities.
+
+    Parameters
+    ----------
+    tolerance:
+        Multiplicative slack on every limit (profiles are estimates;
+        5% by default).
+    """
+    report = ValidationReport()
+    tree = deployment.tree
+    records_by_id = {record.sub_id: record for record in records}
+
+    # ------------------------------------------------------------------
+    # Placement sanity
+    # ------------------------------------------------------------------
+    profiles_by_broker: Dict[str, List[SubscriptionProfile]] = {}
+    delivery_by_broker: Dict[str, float] = {}
+    count_by_broker: Dict[str, int] = {}
+    for sub_id, record in records_by_id.items():
+        broker_id = deployment.subscription_placement.get(sub_id)
+        if broker_id is None:
+            report.violations.append(Violation(
+                broker_id="-", kind="placement",
+                detail=f"subscription {sub_id!r} is not placed",
+            ))
+            continue
+        if broker_id not in tree:
+            report.violations.append(Violation(
+                broker_id=broker_id, kind="placement",
+                detail=f"subscription {sub_id!r} placed on broker outside the tree",
+            ))
+            continue
+        profiles_by_broker.setdefault(broker_id, []).append(record.profile)
+        delivery_by_broker[broker_id] = (
+            delivery_by_broker.get(broker_id, 0.0)
+            + record.profile.estimated_bandwidth(directory)
+        )
+        count_by_broker[broker_id] = count_by_broker.get(broker_id, 0) + 1
+    for sub_id in deployment.subscription_placement:
+        if sub_id not in records_by_id:
+            report.violations.append(Violation(
+                broker_id="-", kind="placement",
+                detail=f"placement names unknown subscription {sub_id!r}",
+            ))
+
+    # ------------------------------------------------------------------
+    # Per-broker loads
+    # ------------------------------------------------------------------
+    subtree = _subtree_profiles(tree, profiles_by_broker)
+    publishers_here: Dict[str, List[str]] = {}
+    for adv_id, broker_id in deployment.publisher_placement.items():
+        publishers_here.setdefault(broker_id, []).append(adv_id)
+
+    for broker_id in tree.brokers:
+        spec = specs.get(broker_id)
+        load = BrokerLoad(broker_id=broker_id)
+        load.delivery_bandwidth = delivery_by_broker.get(broker_id, 0.0)
+        load.subscription_count = count_by_broker.get(broker_id, 0)
+        for child in tree.children(broker_id):
+            load.stream_bandwidth += subtree[child].estimated_bandwidth(directory)
+        # Input: the broker receives whatever its own subtree needs that
+        # arrives from elsewhere, plus everything the rest of the tree
+        # needs that must transit through it.  A safe (and simple) upper
+        # bound is the union of (a) its subtree's needs and (b) its
+        # local publishers' full rates.
+        load.input_rate = subtree[broker_id].estimated_rate(directory)
+        for adv_id in publishers_here.get(broker_id, ()):  # local publishers
+            publisher = directory.get(adv_id)
+            if publisher is not None:
+                load.input_rate += publisher.publication_rate
+        report.loads[broker_id] = load
+        if spec is None:
+            report.violations.append(Violation(
+                broker_id=broker_id, kind="placement",
+                detail="no spec known for this broker",
+            ))
+            continue
+        limit = spec.total_output_bandwidth * tolerance
+        if load.output_bandwidth > limit:
+            report.violations.append(Violation(
+                broker_id=broker_id, kind="output-bandwidth",
+                detail=(
+                    f"expected output {load.output_bandwidth:.2f} kB/s exceeds "
+                    f"{spec.total_output_bandwidth:.2f} kB/s"
+                ),
+                measured=load.output_bandwidth,
+                limit=spec.total_output_bandwidth,
+            ))
+        max_rate = spec.delay_function.max_matching_rate(load.subscription_count)
+        if load.input_rate > max_rate * tolerance:
+            report.violations.append(Violation(
+                broker_id=broker_id, kind="matching-rate",
+                detail=(
+                    f"expected input {load.input_rate:.2f} msg/s exceeds the "
+                    f"maximum matching rate {max_rate:.2f} msg/s"
+                ),
+                measured=load.input_rate,
+                limit=max_rate,
+            ))
+    return report

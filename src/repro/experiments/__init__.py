@@ -1,0 +1,35 @@
+"""Experiment harness: scenarios, reconfiguration, reporting, tooling."""
+
+from repro.experiments.continuous import (
+    ContinuousReconfigurator,
+    CycleReport,
+    RateDrift,
+    SubscriberChurn,
+)
+from repro.experiments.report import format_rows, reduction
+from repro.experiments.runner import APPROACHES, ExperimentResult, ExperimentRunner
+from repro.experiments.sweeps import FIGURES, figure_rows, run_cell, sweep
+from repro.experiments.visualize import (
+    render_broker_loads,
+    render_deployment,
+    render_tree,
+)
+
+__all__ = [
+    "APPROACHES",
+    "ExperimentResult",
+    "ExperimentRunner",
+    "ContinuousReconfigurator",
+    "CycleReport",
+    "RateDrift",
+    "SubscriberChurn",
+    "format_rows",
+    "reduction",
+    "FIGURES",
+    "figure_rows",
+    "run_cell",
+    "sweep",
+    "render_broker_loads",
+    "render_deployment",
+    "render_tree",
+]

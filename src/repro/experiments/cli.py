@@ -1,0 +1,174 @@
+"""Command-line interface: run experiments and regenerate figures.
+
+Usage (after installing the package)::
+
+    python -m repro run --scenario homo --subs 25 --scale 0.25 \
+        --approach manual --approach cram-ios
+    python -m repro figure --figure brokers --scenario het \
+        --subs 12 --subs 25 --scale 0.15
+    python -m repro list
+
+Results print as aligned text tables; ``--csv PATH`` / ``--json PATH``
+additionally export machine-readable copies.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core.croc import ReconfigurationError
+from repro.experiments.report import format_rows
+from repro.experiments.runner import APPROACHES
+from repro.experiments.sweeps import (
+    FIGURES,
+    figure_rows,
+    heterogeneous_scenarios,
+    homogeneous_scenarios,
+    run_cell,
+    scinet_scenarios,
+    sweep,
+)
+
+SCENARIO_FAMILIES = ("homo", "het", "scinet")
+
+
+def _build_scenarios(args) -> list:
+    if args.scenario == "homo":
+        return homogeneous_scenarios(
+            subs_sweep=args.subs, scale=args.scale,
+            measurement_time=args.measurement_time,
+        )
+    if args.scenario == "het":
+        return heterogeneous_scenarios(
+            ns_sweep=args.subs, scale=args.scale,
+            measurement_time=args.measurement_time,
+        )
+    return scinet_scenarios(scale=args.scale,
+                            measurement_time=args.measurement_time)
+
+
+def _export(rows: List[dict], args) -> None:
+    if args.csv:
+        with open(args.csv, "w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=list(rows[0].keys()))
+            writer.writeheader()
+            writer.writerows(rows)
+        print(f"wrote {args.csv}", file=sys.stderr)
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(rows, handle, indent=2)
+        print(f"wrote {args.json}", file=sys.stderr)
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scenario", choices=SCENARIO_FAMILIES, default="homo",
+                        help="scenario family (default: homo)")
+    parser.add_argument("--subs", type=int, action="append",
+                        help="subscriptions per publisher (repeatable; "
+                             "default 25; Ns for the heterogeneous family)")
+    parser.add_argument("--scale", type=float, default=0.25,
+                        help="scenario scale factor, 1.0 = paper size")
+    parser.add_argument("--seed", type=int, default=2011)
+    parser.add_argument("--measurement-time", type=float, default=40.0,
+                        help="virtual seconds per measurement window")
+    parser.add_argument("--csv", help="also write rows to this CSV file")
+    parser.add_argument("--json", help="also write rows to this JSON file")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Green resource allocation for publish/subscribe "
+                    "(ICDCS 2011) — experiment driver",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run_cmd = commands.add_parser(
+        "run", help="run one or more approaches on one scenario family"
+    )
+    _add_common(run_cmd)
+    run_cmd.add_argument("--approach", action="append", choices=APPROACHES,
+                         help="repeatable; default: manual + cram-ios")
+
+    figure_cmd = commands.add_parser(
+        "figure", help="regenerate one of the paper's figures"
+    )
+    _add_common(figure_cmd)
+    figure_cmd.add_argument("--figure", choices=sorted(FIGURES), required=True)
+    figure_cmd.add_argument("--approach", action="append", choices=APPROACHES,
+                            help="repeatable; default: all ten")
+
+    commands.add_parser("list", help="list approaches, figures, scenarios")
+    return parser
+
+
+def cmd_run(args) -> int:
+    approaches = args.approach or ["manual", "cram-ios"]
+    scenarios = _build_scenarios(args)
+    rows = []
+    for scenario in scenarios:
+        for approach in approaches:
+            print(f"running {scenario.name} / {approach} ...", file=sys.stderr)
+            try:
+                result = run_cell(scenario, approach, seed=args.seed)
+            except ReconfigurationError as exc:
+                print(f"error: {scenario.name} / {approach}: {exc}",
+                      file=sys.stderr)
+                return 2
+            rows.append(result.as_row())
+    print(format_rows(rows))
+    if rows:
+        _export(rows, args)
+    return 0
+
+
+def cmd_figure(args) -> int:
+    approaches = tuple(args.approach or APPROACHES)
+    scenarios = _build_scenarios(args)
+    try:
+        results = sweep(
+            scenarios, approaches, seed=args.seed,
+            progress=lambda label: print(f"running {label} ...", file=sys.stderr),
+        )
+    except ReconfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    rows = figure_rows(results, scenarios, approaches, FIGURES[args.figure])
+    print(f"figure: {args.figure} ({FIGURES[args.figure]})")
+    print(format_rows(rows))
+    if rows:
+        _export(rows, args)
+    return 0
+
+
+def cmd_list(_args) -> int:
+    print("approaches:")
+    for approach in APPROACHES:
+        print(f"  {approach}")
+    print("figures:")
+    for name, metric in sorted(FIGURES.items()):
+        print(f"  {name:20s} -> {metric}")
+    print("scenario families:")
+    for family in SCENARIO_FAMILIES:
+        print(f"  {family}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command in ("run", "figure") and not args.subs:
+        args.subs = [25]
+    if args.command == "run":
+        return cmd_run(args)
+    if args.command == "figure":
+        return cmd_figure(args)
+    return cmd_list(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,213 @@
+"""Continuous operation: periodic reconfiguration under workload drift.
+
+The paper reconfigures once, from a profiled steady state.  In a real
+deployment the workload drifts — publishers speed up or slow down,
+subscribers come and go — and the natural extension (the paper's
+closing direction) is to re-run CROC periodically.  This module
+implements that control loop plus a drifting-workload driver, so the
+question "does periodic reconfiguration track the workload?" becomes a
+measurable experiment (see ``examples/adaptive_reconfiguration.py``).
+
+Each cycle: let the CBCs re-profile the current traffic, run the full
+3-phase reconfiguration, measure the steady state, and record how many
+brokers the system needed *this* cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.core.croc import Croc, ReconfigurationError
+from repro.pubsub.metrics import MetricsSummary
+from repro.pubsub.network import PubSubNetwork
+
+
+@dataclass
+class CycleReport:
+    """Outcome of one profile → reconfigure → measure cycle."""
+
+    cycle: int
+    virtual_time: float
+    allocated_brokers: int
+    summary: MetricsSummary
+    subscriptions_profiled: int
+    reconfigured: bool
+    skipped_reason: str = ""
+
+    def as_row(self) -> dict:
+        return {
+            "cycle": self.cycle,
+            "t": round(self.virtual_time, 1),
+            "allocated_brokers": self.allocated_brokers,
+            "avg_broker_message_rate": round(
+                self.summary.avg_broker_message_rate, 3
+            ),
+            "deliveries": self.summary.delivery_count,
+            "reconfigured": self.reconfigured,
+        }
+
+
+class ContinuousReconfigurator:
+    """Periodic CROC control loop.
+
+    Parameters
+    ----------
+    croc:
+        The coordinator to re-run each cycle.
+    profiling_time / measurement_time:
+        Virtual seconds per cycle spent re-filling bit vectors and
+        measuring the reconfigured system.
+    on_cycle_start:
+        Optional hook, called with the cycle index before profiling —
+        the drift driver (rate changes, churn) plugs in here.
+    """
+
+    def __init__(
+        self,
+        croc: Croc,
+        profiling_time: float = 60.0,
+        measurement_time: float = 30.0,
+        on_cycle_start: Optional[Callable[[int], None]] = None,
+    ):
+        self.croc = croc
+        self.profiling_time = profiling_time
+        self.measurement_time = measurement_time
+        self.on_cycle_start = on_cycle_start
+        self.reports: List[CycleReport] = []
+
+    def run(self, network: PubSubNetwork, cycles: int) -> List[CycleReport]:
+        """Execute ``cycles`` reconfiguration cycles on a live network."""
+        pool = network.broker_pool()
+        bandwidths = {spec.broker_id: spec.total_output_bandwidth for spec in pool}
+        for cycle in range(cycles):
+            if self.on_cycle_start is not None:
+                self.on_cycle_start(cycle)
+            network.run(self.profiling_time)
+            reconfigured = True
+            skipped = ""
+            subscriptions = 0
+            try:
+                report = self.croc.reconfigure(network)
+                subscriptions = report.gather.subscription_count
+            except ReconfigurationError as exc:
+                # Keep the current deployment; record why.
+                reconfigured = False
+                skipped = str(exc)
+            network.metrics.reset_window()
+            network.run(self.measurement_time)
+            summary = network.metrics.summary(
+                len(pool), network.active_brokers, bandwidths
+            )
+            self.reports.append(
+                CycleReport(
+                    cycle=cycle,
+                    virtual_time=network.sim.now,
+                    allocated_brokers=len(network.active_brokers),
+                    summary=summary,
+                    subscriptions_profiled=subscriptions,
+                    reconfigured=reconfigured,
+                    skipped_reason=skipped,
+                )
+            )
+        return self.reports
+
+
+class SubscriberChurn:
+    """A drift driver that detaches and re-attaches subscribers.
+
+    Each cycle, a random ``leave_fraction`` of the currently attached
+    subscribers unsubscribe and detach, and a random subset of the
+    previously departed rejoin at a random *active* broker with their
+    original subscriptions.  The next CROC run then sees a genuinely
+    different subscription pool — the churn scenario the paper's
+    one-shot evaluation leaves open.
+    """
+
+    def __init__(self, network: PubSubNetwork, rng,
+                 leave_fraction: float = 0.2, rejoin_fraction: float = 0.5):
+        if not 0.0 <= leave_fraction <= 1.0:
+            raise ValueError("leave_fraction must be within [0, 1]")
+        if not 0.0 <= rejoin_fraction <= 1.0:
+            raise ValueError("rejoin_fraction must be within [0, 1]")
+        self._network = network
+        self._rng = rng
+        self.leave_fraction = leave_fraction
+        self.rejoin_fraction = rejoin_fraction
+        self._departed: List[str] = []
+        self.left_total = 0
+        self.rejoined_total = 0
+
+    def __call__(self, cycle: int) -> None:
+        network = self._network
+        # Rejoin first so a cycle never empties the system.
+        rejoining = [
+            client_id
+            for client_id in list(self._departed)
+            if self._rng.random() < self.rejoin_fraction
+        ]
+        active = network.active_brokers
+        for client_id in rejoining:
+            self._departed.remove(client_id)
+            subscriber = network.subscribers[client_id]
+            broker_id = self._rng.choice(active)
+            network.brokers[broker_id].attach_client(client_id)
+            subscriber.attached(network, broker_id)
+            self.rejoined_total += 1
+        attached = [
+            subscriber
+            for subscriber in network.subscribers.values()
+            if subscriber.broker_id is not None
+        ]
+        leavers = [
+            subscriber
+            for subscriber in attached
+            if self._rng.random() < self.leave_fraction
+        ]
+        if len(leavers) >= len(attached):
+            leavers = leavers[:-1]  # always keep at least one subscriber
+        for subscriber in leavers:
+            for subscription in list(subscriber.subscriptions):
+                # Retract in the overlay but keep the subscription object
+                # so the client can re-issue it when rejoining.
+                from repro.pubsub.message import (
+                    CONTROL_MESSAGE_KB,
+                    Unsubscription,
+                )
+
+                network.client_send(
+                    subscriber.client_id,
+                    subscriber.broker_id,
+                    Unsubscription(subscription.sub_id, subscriber.client_id),
+                    CONTROL_MESSAGE_KB,
+                )
+            network.brokers[subscriber.broker_id].detach_client(
+                subscriber.client_id
+            )
+            subscriber.detached()
+            subscriber.departed = True
+            self._departed.append(subscriber.client_id)
+            self.left_total += 1
+
+
+class RateDrift:
+    """A drift driver that scales publisher rates each cycle.
+
+    ``factors[i % len(factors)]`` multiplies every publisher's *base*
+    rate in cycle ``i`` — e.g. ``(1.0, 2.0, 0.5)`` models a market-open
+    burst followed by a quiet period.  Rates take effect at the next
+    publication the client schedules.
+    """
+
+    def __init__(self, network: PubSubNetwork, factors=(1.0, 2.0, 0.5)):
+        self._network = network
+        self._factors = tuple(factors)
+        self._base_rates = {
+            client_id: publisher.rate
+            for client_id, publisher in network.publishers.items()
+        }
+
+    def __call__(self, cycle: int) -> None:
+        factor = self._factors[cycle % len(self._factors)]
+        for client_id, publisher in self._network.publishers.items():
+            publisher.rate = self._base_rates[client_id] * factor

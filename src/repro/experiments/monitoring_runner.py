@@ -1,0 +1,148 @@
+"""Experiment pipeline for the monitoring workload domain.
+
+The stock-quote :class:`~repro.experiments.runner.ExperimentRunner`
+follows the paper's evaluation; this module provides the same
+deploy → profile → reconfigure → measure pipeline for the
+systems-monitoring domain (:mod:`repro.workloads.monitoring`), which
+exists to demonstrate — and measure — the framework's language
+independence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.baselines import manual_deployment
+from repro.core.capacity import BrokerSpec, MatchingDelayFunction
+from repro.core.cram import CramAllocator
+from repro.core.croc import Croc
+from repro.experiments.runner import SETTLE_TIME
+from repro.pubsub.client import PublisherClient, SubscriberClient
+from repro.pubsub.metrics import MetricsSummary
+from repro.pubsub.network import PubSubNetwork
+from repro.sim.rng import SeededRng
+from repro.workloads.monitoring import (
+    MetricFeed,
+    build_hosts,
+    metric_advertisement,
+    monitoring_subscriptions,
+)
+
+
+@dataclass
+class MonitoringScenario:
+    """Configuration of one monitoring-domain experiment."""
+
+    brokers: int = 16
+    hosts: int = 12
+    subscriptions: int = 120
+    sample_rate: float = 2.0         # metric samples per second per host
+    message_kb: float = 0.3
+    broker_bandwidth_kbps: float = 40.0
+    profile_capacity: int = 128
+    measurement_time: float = 40.0
+
+    @property
+    def name(self) -> str:
+        return f"monitoring-{self.hosts}hx{self.subscriptions}s"
+
+    def profiling_time(self) -> float:
+        return self.profile_capacity / self.sample_rate + 5.0
+
+
+@dataclass
+class MonitoringResult:
+    """Before/after measurements of one monitoring experiment."""
+
+    scenario: str
+    baseline: MetricsSummary
+    reconfigured: MetricsSummary
+    allocated_brokers: int
+    pool_size: int
+    gif_reduction: float
+
+    @property
+    def message_rate_reduction(self) -> float:
+        base = self.baseline.avg_broker_message_rate
+        if base <= 0:
+            return 0.0
+        return 1.0 - self.reconfigured.avg_broker_message_rate / base
+
+    @property
+    def broker_reduction(self) -> float:
+        if self.pool_size == 0:
+            return 0.0
+        return 1.0 - self.allocated_brokers / self.pool_size
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "scenario": self.scenario,
+            "allocated_brokers": self.allocated_brokers,
+            "broker_reduction_pct": round(100 * self.broker_reduction, 1),
+            "msg_rate_reduction_pct": round(100 * self.message_rate_reduction, 1),
+            "mean_hop_count": round(self.reconfigured.mean_hop_count, 3),
+            "gif_reduction_pct": round(100 * self.gif_reduction, 1),
+        }
+
+
+def run_monitoring_experiment(
+    scenario: Optional[MonitoringScenario] = None,
+    seed: int = 7,
+    metric: str = "ios",
+) -> MonitoringResult:
+    """Full MANUAL → CRAM pipeline on the monitoring domain."""
+    scenario = scenario if scenario is not None else MonitoringScenario()
+    rng = SeededRng(seed, "monitoring", scenario.name)
+    network = PubSubNetwork(profile_capacity=scenario.profile_capacity)
+    for index in range(scenario.brokers):
+        network.add_broker(BrokerSpec(
+            broker_id=f"M{index:02d}",
+            total_output_bandwidth=scenario.broker_bandwidth_kbps,
+            delay_function=MatchingDelayFunction(base=1e-4, per_subscription=1e-6),
+        ))
+    hosts = build_hosts(scenario.hosts, rng)
+    for host, role in hosts:
+        network.register_publisher(PublisherClient(
+            client_id=f"agent-{host}",
+            advertisement=metric_advertisement(host, role),
+            feed=MetricFeed(host, role, rng),
+            rate=scenario.sample_rate,
+            size_kb=scenario.message_kb,
+        ))
+    for subscription in monitoring_subscriptions(hosts, scenario.subscriptions, rng):
+        network.register_subscriber(
+            SubscriberClient(subscription.subscriber_id, [subscription])
+        )
+    deployment = manual_deployment(
+        network.broker_pool(),
+        [s.sub_id for sub in network.subscribers.values()
+         for s in sub.subscriptions],
+        [p.adv_id for p in network.publishers.values()],
+        rng.child("manual"),
+    )
+    network.apply_deployment(deployment)
+    network.run(scenario.profiling_time())
+
+    pool = network.broker_pool()
+    bandwidths = {s.broker_id: s.total_output_bandwidth for s in pool}
+    network.metrics.reset_window()
+    network.run(scenario.measurement_time)
+    baseline = network.metrics.summary(len(pool), network.active_brokers, bandwidths)
+
+    croc = Croc(allocator_factory=lambda: CramAllocator(metric=metric))
+    croc.reconfigure(network, settle_time=SETTLE_TIME)
+    stats = croc.last_allocator.last_stats
+    network.metrics.reset_window()
+    network.run(scenario.measurement_time)
+    reconfigured = network.metrics.summary(
+        len(pool), network.active_brokers, bandwidths
+    )
+    return MonitoringResult(
+        scenario=scenario.name,
+        baseline=baseline,
+        reconfigured=reconfigured,
+        allocated_brokers=len(network.active_brokers),
+        pool_size=len(pool),
+        gif_reduction=stats.gif_reduction,
+    )

@@ -1,0 +1,119 @@
+"""Figure/table sweeps as reusable functions.
+
+Each function regenerates one of the paper's figures at a caller-chosen
+scale and returns plain row dictionaries, so the same code backs the
+benchmark harness, the command-line interface, and ad-hoc notebook use.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.experiments.runner import APPROACHES, ExperimentResult, ExperimentRunner
+from repro.workloads.scenarios import (
+    Scenario,
+    cluster_heterogeneous,
+    cluster_homogeneous,
+    scinet,
+)
+
+MetricKey = str
+
+
+def run_cell(
+    scenario: Scenario,
+    approach: str,
+    seed: int = 2011,
+    cram_failure_budget: Optional[int] = 150,
+) -> ExperimentResult:
+    """One (scenario, approach) measurement."""
+    runner = ExperimentRunner(
+        scenario, seed=seed, cram_failure_budget=cram_failure_budget
+    )
+    return runner.run(approach)
+
+
+def sweep(
+    scenarios: Sequence[Scenario],
+    approaches: Sequence[str],
+    seed: int = 2011,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[Tuple[str, str], ExperimentResult]:
+    """Run the full (scenario × approach) matrix."""
+    results: Dict[Tuple[str, str], ExperimentResult] = {}
+    for scenario in scenarios:
+        for approach in approaches:
+            if progress is not None:
+                progress(f"{scenario.name} / {approach}")
+            results[(scenario.name, approach)] = run_cell(
+                scenario, approach, seed=seed
+            )
+    return results
+
+
+def figure_rows(
+    results: Dict[Tuple[str, str], ExperimentResult],
+    scenarios: Sequence[Scenario],
+    approaches: Sequence[str],
+    metric: MetricKey,
+    x_label: str = "total_subscriptions",
+) -> List[dict]:
+    """Pivot a sweep into one row per scenario, one column per approach."""
+    rows = []
+    for scenario in scenarios:
+        row = {x_label: scenario.total_subscriptions}
+        for approach in approaches:
+            result = results[(scenario.name, approach)]
+            row[approach] = result.as_row()[metric]
+        rows.append(row)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# The paper's figures
+# ----------------------------------------------------------------------
+
+def homogeneous_scenarios(
+    subs_sweep: Iterable[int] = (50, 100, 150, 200),
+    scale: float = 1.0,
+    measurement_time: float = 40.0,
+) -> List[Scenario]:
+    return [
+        cluster_homogeneous(
+            subscriptions_per_publisher=subs,
+            scale=scale,
+            measurement_time=measurement_time,
+        )
+        for subs in subs_sweep
+    ]
+
+
+def heterogeneous_scenarios(
+    ns_sweep: Iterable[int] = (50, 100, 150, 200),
+    scale: float = 1.0,
+    measurement_time: float = 40.0,
+) -> List[Scenario]:
+    return [
+        cluster_heterogeneous(ns=ns, scale=scale, measurement_time=measurement_time)
+        for ns in ns_sweep
+    ]
+
+
+def scinet_scenarios(
+    scale: float = 1.0, measurement_time: float = 30.0
+) -> List[Scenario]:
+    return [
+        scinet(brokers=brokers, scale=scale, measurement_time=measurement_time)
+        for brokers in (400, 1000)
+    ]
+
+
+FIGURES: Dict[str, MetricKey] = {
+    "message-rate": "avg_broker_message_rate",
+    "brokers": "allocated_brokers",
+    "delay": "mean_delivery_delay_ms",
+    "hops": "mean_hop_count",
+    "msg-rate-reduction": "msg_rate_reduction_pct",
+    "broker-reduction": "broker_reduction_pct",
+    "computation": "computation_s",
+}

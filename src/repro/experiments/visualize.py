@@ -1,0 +1,107 @@
+"""Plain-text rendering of broker trees and deployments.
+
+Operators (and the examples) want to *see* the overlay CROC built:
+the tree shape, which brokers host subscriptions, how loaded each one
+is.  Everything renders to ASCII so it works in logs and CI output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.deployment import BrokerTree, Deployment
+from repro.core.profiles import PublisherDirectory
+
+
+def render_tree(
+    tree: BrokerTree,
+    directory: Optional[PublisherDirectory] = None,
+    publisher_placement: Optional[Dict[str, str]] = None,
+) -> str:
+    """An indented ASCII tree with per-broker annotations.
+
+    Example output::
+
+        B0007  [12 subs, 4.8 kB/s]  <- adv-YHOO, adv-MSFT
+        ├── B0003  [30 subs, 9.1 kB/s]
+        └── B0001  [18 subs, 6.0 kB/s]
+    """
+    publishers_at: Dict[str, List[str]] = {}
+    if publisher_placement:
+        for adv_id, broker_id in sorted(publisher_placement.items()):
+            publishers_at.setdefault(broker_id, []).append(adv_id)
+
+    def annotate(broker_id: str) -> str:
+        units = tree.broker_units.get(broker_id, [])
+        subs = sum(
+            unit.subscription_count for unit in units if unit.kind == "subscription"
+        )
+        parts = [broker_id]
+        details = []
+        if subs:
+            details.append(f"{subs} subs")
+        if directory is not None:
+            bandwidth = sum(
+                unit.delivery_bandwidth
+                for unit in units
+                if unit.kind == "subscription"
+            )
+            if bandwidth > 0:
+                details.append(f"{bandwidth:.1f} kB/s")
+        if details:
+            parts.append(f"[{', '.join(details)}]")
+        local_publishers = publishers_at.get(broker_id)
+        if local_publishers:
+            parts.append("<- " + ", ".join(local_publishers))
+        return "  ".join(parts)
+
+    lines: List[str] = [annotate(tree.root)]
+
+    def walk(broker_id: str, prefix: str) -> None:
+        children = tree.children(broker_id)
+        for index, child in enumerate(children):
+            last = index == len(children) - 1
+            connector = "└── " if last else "├── "
+            lines.append(prefix + connector + annotate(child))
+            walk(child, prefix + ("    " if last else "│   "))
+
+    walk(tree.root, "")
+    return "\n".join(lines)
+
+
+def render_deployment(deployment: Deployment,
+                      directory: Optional[PublisherDirectory] = None) -> str:
+    """Tree rendering plus placement summary counts."""
+    header = (
+        f"deployment ({deployment.approach or 'unnamed'}): "
+        f"{len(deployment.tree)} brokers, "
+        f"{len(deployment.subscription_placement)} subscriptions, "
+        f"{len(deployment.publisher_placement)} publishers"
+    )
+    body = render_tree(
+        deployment.tree, directory, deployment.publisher_placement
+    )
+    return f"{header}\n{body}"
+
+
+def render_broker_loads(per_broker_rates: Dict[str, float],
+                        width: int = 40) -> str:
+    """A horizontal bar chart of per-broker message rates.
+
+    Used to eyeball load balance after a reconfiguration::
+
+        B0001 | ############################    132.1 msg/s
+        B0007 | ######                           31.9 msg/s
+    """
+    if not per_broker_rates:
+        return "(no brokers)"
+    peak = max(per_broker_rates.values()) or 1.0
+    label_width = max(len(broker) for broker in per_broker_rates)
+    lines = []
+    for broker_id in sorted(per_broker_rates):
+        rate = per_broker_rates[broker_id]
+        bar = "#" * max(0, round(width * rate / peak))
+        lines.append(
+            f"{broker_id.ljust(label_width)} | {bar.ljust(width)} {rate:8.1f} msg/s"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,30 @@
+"""Filter-based content publish/subscribe substrate.
+
+A faithful, simulator-hosted re-implementation of the parts of PADRES
+the paper relies on: attribute-predicate subscription language,
+advertisement flooding, subscription routing along reverse
+advertisement paths, per-broker content matching with a linear
+matching-delay model, an output-bandwidth limiter, and the CBC
+profiling component that feeds CROC's Phase 1.
+"""
+
+from repro.pubsub.client import DualClient, PublisherClient, SubscriberClient
+from repro.pubsub.delay_estimation import DelayModelEstimator
+from repro.pubsub.message import Advertisement, Publication, Subscription
+from repro.pubsub.predicate import Operator, Predicate
+from repro.pubsub.network import PubSubNetwork
+from repro.pubsub.tracing import MessageTracer
+
+__all__ = [
+    "Advertisement",
+    "Publication",
+    "Subscription",
+    "Operator",
+    "Predicate",
+    "PubSubNetwork",
+    "DualClient",
+    "PublisherClient",
+    "SubscriberClient",
+    "DelayModelEstimator",
+    "MessageTracer",
+]

@@ -1,0 +1,366 @@
+"""The content-based broker: routing, matching delay, bandwidth limiter.
+
+Routing follows the filter-based scheme of PADRES/SIENA:
+
+* **Advertisements** flood the overlay; each broker remembers the
+  neighbor an advertisement arrived from (its *last hop*).
+* **Subscriptions** are routed hop-by-hop along the reverse paths of
+  every overlapping advertisement, leaving `(subscription, source)`
+  entries in the Subscription Routing Table (SRT) as they travel.
+  Arrival order is immaterial: a broker re-forwards known
+  subscriptions when a new overlapping advertisement shows up.
+* **Publications** are matched at every broker against the SRT and
+  forwarded to each distinct matching destination (neighbor broker or
+  local client), never back toward the sender.
+
+Two resource models shape the virtual-time behaviour, mirroring the
+quantities CROC reasons about:
+
+* a single-server queue whose service time is the broker's *matching
+  delay function* (linear in the SRT size), and
+* an output-bandwidth limiter: outgoing messages serialize at
+  ``size / total_output_bandwidth`` seconds each — the knob the paper
+  throttles to create its heterogeneous scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.core.capacity import BrokerSpec
+from repro.pubsub.cbc import CrocBackendComponent
+from repro.pubsub.delay_estimation import DelayModelEstimator
+from repro.pubsub.matching import MatchingIndex, overlaps, subscription_covers
+from repro.pubsub.message import (
+    Advertisement,
+    BrokerInformationAnswer,
+    BrokerInformationRequest,
+    BrokerReport,
+    CONTROL_MESSAGE_KB,
+    Publication,
+    Subscription,
+    Unsubscription,
+)
+
+#: Destination tags used in SRT payloads and transmission calls.
+CLIENT = "client"
+BROKER = "broker"
+
+Destination = Tuple[str, str]  # (CLIENT|BROKER, identifier)
+
+
+@dataclass
+class _PendingBir:
+    """Aggregation state for one in-flight BIR (paper §III-A)."""
+
+    requester: Destination
+    pending: Set[str]
+    reports: Dict[str, BrokerReport]
+
+
+class Broker:
+    """One broker process in the simulated overlay."""
+
+    def __init__(self, spec: BrokerSpec, network, profile_capacity: int,
+                 covering_enabled: bool = False):
+        self.spec = spec
+        self.broker_id = spec.broker_id
+        self._network = network
+        self._sim = network.sim
+        self._metrics = network.metrics
+        self.cbc = CrocBackendComponent(spec.broker_id, profile_capacity)
+        self.covering_enabled = covering_enabled
+        self.neighbors: Set[str] = set()
+        self.local_clients: Set[str] = set()
+        self._advertisements: Dict[str, Tuple[Advertisement, Destination]] = {}
+        self._srt = MatchingIndex()
+        self._known_subscriptions: Dict[str, Tuple[Subscription, Destination]] = {}
+        self._forwarded_subs: Set[Tuple[str, str]] = set()  # (sub_id, neighbor)
+        #: neighbor -> {suppressed sub_id -> covering sub_id} (covering only)
+        self._suppressed: Dict[str, Dict[str, str]] = {}
+        self.delay_estimator = DelayModelEstimator()
+        self._cpu_free_at = 0.0
+        self._out_free_at = 0.0
+        self._ctl_free_at = 0.0
+        self._pending_bir: Dict[int, _PendingBir] = {}
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def add_neighbor(self, broker_id: str) -> None:
+        self.neighbors.add(broker_id)
+
+    def remove_neighbor(self, broker_id: str) -> None:
+        self.neighbors.discard(broker_id)
+
+    def attach_client(self, client_id: str) -> None:
+        self.local_clients.add(client_id)
+
+    def detach_client(self, client_id: str) -> None:
+        self.local_clients.discard(client_id)
+
+    def reset(self) -> None:
+        """Return to a clean state, as the paper re-instantiates brokers."""
+        self.neighbors.clear()
+        self.local_clients.clear()
+        self._advertisements.clear()
+        self._srt = MatchingIndex()
+        self._known_subscriptions.clear()
+        self._forwarded_subs.clear()
+        self._suppressed.clear()
+        self._pending_bir.clear()
+        self._cpu_free_at = 0.0
+        self._out_free_at = 0.0
+        self._ctl_free_at = 0.0
+        self.delay_estimator.reset()
+        self.cbc.reset()
+
+    @property
+    def srt_size(self) -> int:
+        return len(self._srt)
+
+    # ------------------------------------------------------------------
+    # Receive path: queue behind the matching CPU
+    # ------------------------------------------------------------------
+    def receive(self, message: Any, source: Destination) -> None:
+        """Accept a message from a neighbor or local client."""
+        tracer = self._network.tracer
+        if tracer is not None and isinstance(message, Publication):
+            tracer.record(self._sim.now, "receive", self.broker_id,
+                          message.adv_id, message.message_id,
+                          detail=f"from {source[1]}")
+        self._metrics.on_receive(self.broker_id, isinstance(message, Publication))
+        service = self.spec.delay_function.delay(len(self._srt))
+        self.delay_estimator.record(len(self._srt), service)
+        start = max(self._sim.now, self._cpu_free_at)
+        done = start + service
+        self._cpu_free_at = done
+        self._sim.schedule_at(done, lambda: self._process(message, source))
+
+    def _process(self, message: Any, source: Destination) -> None:
+        if isinstance(message, Publication):
+            self._handle_publication(message, source)
+        elif isinstance(message, Subscription):
+            self._handle_subscription(message, source)
+        elif isinstance(message, Advertisement):
+            self._handle_advertisement(message, source)
+        elif isinstance(message, Unsubscription):
+            self._handle_unsubscription(message)
+        elif isinstance(message, BrokerInformationRequest):
+            self._handle_bir(message, source)
+        elif isinstance(message, BrokerInformationAnswer):
+            self._handle_bia(message, source)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"broker cannot process {type(message).__name__}")
+
+    # ------------------------------------------------------------------
+    # Transmit path: queue behind the output link
+    # ------------------------------------------------------------------
+    def _transmit(self, destination: Destination, message: Any, size_kb: float) -> None:
+        """Serialize onto the output link and hand off to the network.
+
+        Publications share one FIFO output queue (the bandwidth
+        limiter); control messages (subscriptions, advertisements,
+        BIR/BIA, unsubscriptions) use a prioritized side lane with its
+        own budget, so a saturated data plane cannot starve the
+        reconfiguration protocol — the standard control/data separation
+        of production brokers.
+        """
+        bandwidth = self.spec.total_output_bandwidth
+        serialization = size_kb / bandwidth if bandwidth > 0 else 0.0
+        is_publication = isinstance(message, Publication)
+        if is_publication:
+            start = max(self._sim.now, self._out_free_at)
+            sent = start + serialization
+            self._out_free_at = sent
+        else:
+            start = max(self._sim.now, self._ctl_free_at)
+            sent = start + serialization
+            self._ctl_free_at = sent
+        self._metrics.on_send(
+            self.broker_id, size_kb, is_publication, to_client=destination[0] == CLIENT
+        )
+        self._network.deliver(self.broker_id, destination, message, sent)
+
+    # ------------------------------------------------------------------
+    # Publications
+    # ------------------------------------------------------------------
+    def _handle_publication(self, publication: Publication, source: Destination) -> None:
+        if source[0] == CLIENT:
+            self.cbc.on_local_publication(publication, self._sim.now)
+        matched = self._srt.matching_entries(publication)
+        forwarded_brokers: Set[str] = set()
+        for subscription, destination in matched:
+            if destination == source:
+                continue
+            if destination[0] == CLIENT:
+                if destination[1] in self.local_clients:
+                    self.cbc.on_delivery(subscription.sub_id, publication)
+                    self._transmit(destination, publication, publication.size_kb)
+            else:
+                forwarded_brokers.add(destination[1])
+        tracer = self._network.tracer
+        for broker_id in sorted(forwarded_brokers):
+            if tracer is not None:
+                tracer.record(self._sim.now, "forward", self.broker_id,
+                              publication.adv_id, publication.message_id,
+                              detail=f"-> {broker_id}")
+            self._transmit((BROKER, broker_id), publication.hopped(), publication.size_kb)
+
+    # ------------------------------------------------------------------
+    # Advertisements
+    # ------------------------------------------------------------------
+    def _handle_advertisement(self, advertisement: Advertisement, source: Destination) -> None:
+        if advertisement.adv_id in self._advertisements:
+            return  # flood dedupe
+        self._advertisements[advertisement.adv_id] = (advertisement, source)
+        for neighbor in sorted(self.neighbors):
+            if source != (BROKER, neighbor):
+                self._transmit((BROKER, neighbor), advertisement, CONTROL_MESSAGE_KB)
+        # Late advertisement: pull already-known overlapping subscriptions
+        # toward it so arrival order does not matter.
+        if source[0] == BROKER:
+            last_hop = source[1]
+            for sub_id, (subscription, sub_source) in self._known_subscriptions.items():
+                if sub_source == (BROKER, last_hop):
+                    continue
+                if overlaps(subscription, advertisement):
+                    self._forward_subscription(subscription, last_hop)
+
+    # ------------------------------------------------------------------
+    # Subscriptions
+    # ------------------------------------------------------------------
+    def _handle_subscription(self, subscription: Subscription, source: Destination) -> None:
+        key = subscription.sub_id
+        if key in self._known_subscriptions:
+            return
+        self._known_subscriptions[key] = (subscription, source)
+        self._srt.add(subscription, source)
+        if source[0] == CLIENT:
+            self.cbc.register_subscription(subscription)
+        for adv, adv_source in self._advertisements.values():
+            if adv_source[0] != BROKER:
+                continue  # advertiser is local: publications start here
+            last_hop = adv_source[1]
+            if source == (BROKER, last_hop):
+                continue
+            if overlaps(subscription, adv):
+                self._forward_subscription(subscription, last_hop)
+
+    def _forward_subscription(self, subscription: Subscription, neighbor: str) -> None:
+        """Send a subscription one hop toward an advertisement, once.
+
+        With covering enabled (SIENA/PADRES-style), the subscription is
+        *suppressed* if a previously forwarded subscription already
+        covers it on that link: the upstream broker will route every
+        matching publication this way regardless, so the narrower
+        filter adds no information.  Suppressions are remembered so a
+        retraction of the coverer re-issues them (see
+        :meth:`_handle_unsubscription`).
+        """
+        key = subscription.sub_id
+        if (key, neighbor) in self._forwarded_subs:
+            return
+        if self.covering_enabled:
+            suppressed_here = self._suppressed.setdefault(neighbor, {})
+            if key in suppressed_here:
+                return
+            for forwarded_id, forwarded_neighbor in self._forwarded_subs:
+                if forwarded_neighbor != neighbor:
+                    continue
+                coverer, _src = self._known_subscriptions.get(
+                    forwarded_id, (None, None)
+                )
+                if coverer is not None and subscription_covers(coverer, subscription):
+                    suppressed_here[key] = forwarded_id
+                    return
+        self._forwarded_subs.add((key, neighbor))
+        self._transmit((BROKER, neighbor), subscription, CONTROL_MESSAGE_KB)
+
+    def _handle_unsubscription(self, unsubscription: Unsubscription) -> None:
+        """Retract a subscription and propagate along its routed paths.
+
+        The unsubscription follows exactly the neighbors the original
+        subscription was forwarded to, so routing state is cleaned up
+        along the whole path and nowhere else.
+        """
+        sub_id = unsubscription.sub_id
+        if sub_id not in self._known_subscriptions:
+            return
+        self._srt.remove_subscription(sub_id)
+        self._known_subscriptions.pop(sub_id, None)
+        self.cbc.unregister_subscription(sub_id)
+        forwarded_to = [
+            neighbor
+            for (known_id, neighbor) in self._forwarded_subs
+            if known_id == sub_id
+        ]
+        self._forwarded_subs = {
+            (known_id, neighbor)
+            for (known_id, neighbor) in self._forwarded_subs
+            if known_id != sub_id
+        }
+        for suppressed_here in self._suppressed.values():
+            suppressed_here.pop(sub_id, None)
+        for neighbor in sorted(forwarded_to):
+            self._transmit((BROKER, neighbor), unsubscription, CONTROL_MESSAGE_KB)
+        if self.covering_enabled:
+            self._release_suppressed(sub_id, forwarded_to)
+
+    def _release_suppressed(self, retracted_id: str, neighbors) -> None:
+        """Re-issue subscriptions whose coverer was just retracted."""
+        for neighbor in neighbors:
+            suppressed_here = self._suppressed.get(neighbor, {})
+            orphans = [
+                sub_id
+                for sub_id, coverer_id in suppressed_here.items()
+                if coverer_id == retracted_id
+            ]
+            for sub_id in orphans:
+                del suppressed_here[sub_id]
+                entry = self._known_subscriptions.get(sub_id)
+                if entry is None:
+                    continue
+                self._forward_subscription(entry[0], neighbor)
+
+    # ------------------------------------------------------------------
+    # CROC information gathering (BIR flood / BIA aggregation)
+    # ------------------------------------------------------------------
+    def _handle_bir(self, request: BrokerInformationRequest, source: Destination) -> None:
+        downstream = {
+            neighbor for neighbor in self.neighbors if (BROKER, neighbor) != source
+        }
+        state = _PendingBir(requester=source, pending=set(downstream), reports={})
+        self._pending_bir[request.request_id] = state
+        if not downstream:
+            self._answer_bir(request.request_id)
+            return
+        for neighbor in sorted(downstream):
+            self._transmit((BROKER, neighbor), request, CONTROL_MESSAGE_KB)
+
+    def _handle_bia(self, answer: BrokerInformationAnswer, source: Destination) -> None:
+        state = self._pending_bir.get(answer.request_id)
+        if state is None:
+            return
+        if source[0] == BROKER:
+            state.pending.discard(source[1])
+        state.reports.update(answer.reports)
+        if not state.pending:
+            self._answer_bir(answer.request_id)
+
+    def _answer_bir(self, request_id: int) -> None:
+        state = self._pending_bir.pop(request_id)
+        reports = dict(state.reports)
+        reports[self.broker_id] = self.cbc.report(
+            self.spec, self._sim.now,
+            measured_delay=self.delay_estimator.fit(),
+        )
+        answer = BrokerInformationAnswer(request_id=request_id, reports=reports)
+        self._transmit(state.requester, answer, CONTROL_MESSAGE_KB)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Broker({self.broker_id!r}, neighbors={len(self.neighbors)}, "
+            f"srt={len(self._srt)})"
+        )

@@ -1,0 +1,246 @@
+"""Publisher and subscriber clients.
+
+Publishers own an advertisement and a feed of attribute dictionaries
+(the stock-quote generator in the experiments); they publish at a fixed
+rate and keep a monotonically increasing message ID that *survives
+reconfigurations* — the profiles' bit vectors are keyed on it.
+
+Subscribers own a set of subscriptions and record delivery statistics.
+Both client kinds can detach and re-attach to a different broker, which
+is how CROC executes client migration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.pubsub.message import (
+    Advertisement,
+    CONTROL_MESSAGE_KB,
+    Publication,
+    Subscription,
+    Unsubscription,
+)
+
+FeedFactory = Callable[[], Iterator[Dict[str, Any]]]
+
+
+class PublisherClient:
+    """A publisher attached to (at most) one broker."""
+
+    def __init__(
+        self,
+        client_id: str,
+        advertisement: Advertisement,
+        feed: Iterator[Dict[str, Any]],
+        rate: float,
+        size_kb: float = 0.5,
+    ):
+        if rate <= 0:
+            raise ValueError(f"publication rate must be positive, got {rate}")
+        self.client_id = client_id
+        self.advertisement = advertisement
+        self._feed = feed
+        self.rate = rate
+        self.size_kb = size_kb
+        self.broker_id: Optional[str] = None
+        self.published = 0
+        self._next_message_id = 1
+        self._network = None
+        self._timer = None
+
+    @property
+    def adv_id(self) -> str:
+        return self.advertisement.adv_id
+
+    # ------------------------------------------------------------------
+    # Attachment lifecycle (driven by the network)
+    # ------------------------------------------------------------------
+    def attached(self, network, broker_id: str) -> None:
+        """Called by the network when the client lands on a broker."""
+        self._network = network
+        self.broker_id = broker_id
+        network.client_send(self.client_id, broker_id, self.advertisement,
+                            CONTROL_MESSAGE_KB)
+        self._schedule_next()
+
+    def detached(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        self.broker_id = None
+        self._network = None
+
+    # ------------------------------------------------------------------
+    # Publishing loop
+    # ------------------------------------------------------------------
+    def _schedule_next(self) -> None:
+        if self._network is None:
+            return
+        self._timer = self._network.sim.schedule(1.0 / self.rate, self._publish_one)
+
+    def _publish_one(self) -> None:
+        if self._network is None or self.broker_id is None:
+            return
+        try:
+            attributes = next(self._feed)
+        except StopIteration:
+            self._timer = None
+            return
+        publication = Publication(
+            adv_id=self.adv_id,
+            message_id=self._next_message_id,
+            attributes=attributes,
+            publish_time=self._network.sim.now,
+            size_kb=self.size_kb,
+        )
+        self._next_message_id += 1
+        self.published += 1
+        self._network.client_send(
+            self.client_id, self.broker_id, publication, publication.size_kb
+        )
+        self._schedule_next()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PublisherClient({self.client_id!r}, adv={self.adv_id!r})"
+
+
+@dataclass
+class DeliveryRecord:
+    """One delivered publication as seen by a subscriber."""
+
+    adv_id: str
+    message_id: int
+    delay: float
+    hops: int
+
+
+class SubscriberClient:
+    """A subscriber holding one or more subscriptions."""
+
+    def __init__(self, client_id: str, subscriptions: List[Subscription],
+                 keep_history: bool = False):
+        self.client_id = client_id
+        self.subscriptions = list(subscriptions)
+        self.broker_id: Optional[str] = None
+        self.delivered = 0
+        #: Set by churn drivers: a departed client is not re-attached by
+        #: deployment execution until it explicitly rejoins.
+        self.departed = False
+        self.keep_history = keep_history
+        self.history: List[DeliveryRecord] = []
+        self._network = None
+
+    def attached(self, network, broker_id: str) -> None:
+        self._network = network
+        self.broker_id = broker_id
+        self.departed = False
+        for subscription in self.subscriptions:
+            network.client_send(self.client_id, broker_id, subscription,
+                                CONTROL_MESSAGE_KB)
+
+    def detached(self) -> None:
+        self.broker_id = None
+        self._network = None
+
+    def receive(self, publication: Publication, now: float) -> None:
+        """Delivery callback from the network."""
+        self.delivered += 1
+        if self.keep_history:
+            self.history.append(
+                DeliveryRecord(
+                    adv_id=publication.adv_id,
+                    message_id=publication.message_id,
+                    delay=now - publication.publish_time,
+                    hops=publication.hops,
+                )
+            )
+
+    def unsubscribe(self, sub_id: str) -> None:
+        """Retract one subscription; propagates through the overlay."""
+        remaining = []
+        removed = None
+        for subscription in self.subscriptions:
+            if subscription.sub_id == sub_id:
+                removed = subscription
+            else:
+                remaining.append(subscription)
+        if removed is None:
+            raise KeyError(f"no subscription {sub_id!r} on {self.client_id!r}")
+        self.subscriptions = remaining
+        if self._network is not None and self.broker_id is not None:
+            self._network.client_send(
+                self.client_id,
+                self.broker_id,
+                Unsubscription(sub_id=sub_id, subscriber_id=self.client_id),
+                CONTROL_MESSAGE_KB,
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SubscriberClient({self.client_id!r}, "
+            f"subscriptions={len(self.subscriptions)})"
+        )
+
+
+class DualClient:
+    """A client that both publishes and subscribes (paper §II-A).
+
+    The paper notes its solution "can also adapt ... to systems where
+    clients take on both publisher and subscriber roles by separating
+    the network connections between the two entities" — which is
+    exactly how this class is built: it owns an independent
+    :class:`PublisherClient` and :class:`SubscriberClient`, each with
+    its own broker attachment, so CROC can place the publishing half
+    (via GRAPE) and the subscribing half (via Phase 2) independently.
+    """
+
+    def __init__(
+        self,
+        client_id: str,
+        advertisement: Advertisement,
+        feed: Iterator[Dict[str, Any]],
+        rate: float,
+        subscriptions: List[Subscription],
+        size_kb: float = 0.5,
+        keep_history: bool = False,
+    ):
+        self.client_id = client_id
+        self.publisher = PublisherClient(
+            client_id=f"{client_id}:pub",
+            advertisement=advertisement,
+            feed=feed,
+            rate=rate,
+            size_kb=size_kb,
+        )
+        self.subscriber = SubscriberClient(
+            client_id=f"{client_id}:sub",
+            subscriptions=subscriptions,
+            keep_history=keep_history,
+        )
+
+    def attach(self, network, publisher_broker: str,
+               subscriber_broker: Optional[str] = None) -> None:
+        """Attach both halves (possibly to different brokers)."""
+        network.attach_publisher(self.publisher, publisher_broker)
+        network.attach_subscriber(
+            self.subscriber,
+            subscriber_broker if subscriber_broker is not None else publisher_broker,
+        )
+
+    def register(self, network) -> None:
+        """Make both halves known without attaching (deployment-driven)."""
+        network.register_publisher(self.publisher)
+        network.register_subscriber(self.subscriber)
+
+    @property
+    def delivered(self) -> int:
+        return self.subscriber.delivered
+
+    @property
+    def published(self) -> int:
+        return self.publisher.published
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DualClient({self.client_id!r})"

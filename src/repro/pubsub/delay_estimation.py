@@ -1,0 +1,81 @@
+"""Measuring a broker's matching-delay function.
+
+The BIA message carries "a linear function that models the matching
+delay as a function of the number of subscriptions" (paper §III-A).  A
+real broker does not *know* that function — it measures it: every
+processed message yields a sample ``(routing-table size, service
+time)``, and an ordinary-least-squares fit over the recent samples
+recovers the line's base and per-subscription coefficients.
+
+:class:`DelayModelEstimator` is that machinery.  The simulated brokers
+feed it from their processing path, and the CBC reports the fitted
+:class:`~repro.core.capacity.MatchingDelayFunction` once enough samples
+across enough distinct table sizes have accumulated (falling back to
+the configured spec before that).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from repro.core.capacity import MatchingDelayFunction
+
+#: Samples retained for the sliding-window fit.
+DEFAULT_WINDOW = 512
+
+#: Minimum samples — and distinct x values — before a fit is trusted.
+MIN_SAMPLES = 16
+MIN_DISTINCT_SIZES = 2
+
+
+class DelayModelEstimator:
+    """Sliding-window OLS fit of ``delay = base + k · table_size``."""
+
+    def __init__(self, window: int = DEFAULT_WINDOW):
+        self._samples: Deque[Tuple[int, float]] = deque(maxlen=window)
+
+    def record(self, table_size: int, service_time: float) -> None:
+        """Add one observation of a message's matching service time."""
+        if service_time < 0:
+            raise ValueError(f"service time cannot be negative: {service_time}")
+        self._samples.append((table_size, service_time))
+
+    @property
+    def sample_count(self) -> int:
+        return len(self._samples)
+
+    def distinct_sizes(self) -> int:
+        return len({size for size, _delay in self._samples})
+
+    def fit(self) -> Optional[MatchingDelayFunction]:
+        """Least-squares line through the samples, if determinable.
+
+        Returns ``None`` until there are :data:`MIN_SAMPLES` samples
+        spanning at least :data:`MIN_DISTINCT_SIZES` distinct table
+        sizes (a vertical cloud cannot identify the slope).  Negative
+        fitted coefficients are clamped to zero — measurement noise
+        must never produce a delay model that promises speedups from
+        *adding* subscriptions.
+        """
+        if len(self._samples) < MIN_SAMPLES:
+            return None
+        if self.distinct_sizes() < MIN_DISTINCT_SIZES:
+            return None
+        n = len(self._samples)
+        sum_x = sum(size for size, _d in self._samples)
+        sum_y = sum(delay for _s, delay in self._samples)
+        sum_xx = sum(size * size for size, _d in self._samples)
+        sum_xy = sum(size * delay for size, delay in self._samples)
+        denominator = n * sum_xx - sum_x * sum_x
+        if denominator == 0:
+            return None
+        slope = (n * sum_xy - sum_x * sum_y) / denominator
+        intercept = (sum_y - slope * sum_x) / n
+        return MatchingDelayFunction(
+            base=max(0.0, intercept),
+            per_subscription=max(0.0, slope),
+        )
+
+    def reset(self) -> None:
+        self._samples.clear()

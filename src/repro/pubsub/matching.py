@@ -1,0 +1,181 @@
+"""Content-based matching: publications vs subscriptions vs advertisements."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Dict, Hashable, Iterable, List, Optional, Set, Tuple
+
+from repro.pubsub.message import Advertisement, Publication, Subscription
+from repro.pubsub.predicate import Operator, Predicate, covers as predicate_covers, intersects
+
+
+def matches(subscription: Subscription, publication: Publication) -> bool:
+    """Whether a publication satisfies every predicate of a subscription.
+
+    An attribute missing from the publication fails the predicate — the
+    standard conjunctive content-based semantics.
+    """
+    attributes = publication.attributes
+    for predicate in subscription.predicates:
+        if predicate.attribute not in attributes:
+            return False
+        if not predicate.matches(attributes[predicate.attribute]):
+            return False
+    return True
+
+
+def overlaps(subscription: Subscription, advertisement: Advertisement) -> bool:
+    """Whether the advertisement's space can produce matching events.
+
+    Every subscription predicate must name an advertised attribute and
+    be jointly satisfiable with all advertisement predicates on it.
+    Used to decide which last-hops a subscription is routed toward.
+    """
+    advertised: Dict[str, List[Predicate]] = defaultdict(list)
+    for predicate in advertisement.predicates:
+        advertised[predicate.attribute].append(predicate)
+    for predicate in subscription.predicates:
+        constraints = advertised.get(predicate.attribute)
+        if constraints is None:
+            return False
+        for constraint in constraints:
+            if not intersects(predicate, constraint):
+                return False
+    return True
+
+
+def subscription_covers(general: Subscription, specific: Subscription) -> bool:
+    """Language-level covering: every event matching ``specific`` matches
+    ``general``.  Conservative.  The allocation framework deliberately
+    does *not* use this — it exists for tests and diagnostics.
+    """
+    specific_by_attr: Dict[str, List[Predicate]] = defaultdict(list)
+    for predicate in specific.predicates:
+        specific_by_attr[predicate.attribute].append(predicate)
+    for predicate in general.predicates:
+        candidates = specific_by_attr.get(predicate.attribute)
+        if not candidates:
+            return False
+        if not any(predicate_covers(predicate, candidate) for candidate in candidates):
+            return False
+    return True
+
+
+class MatchingIndex:
+    """An index of subscriptions keyed by their equality predicates.
+
+    Matching a publication against all subscriptions at a broker is the
+    dominant cost of the simulation, so subscriptions carrying an
+    equality predicate (the common case — every stock subscription pins
+    ``symbol``) are bucketed by their most selective ``(attribute,
+    value)`` pair; the rest live in a linear-scan fallback list.
+
+    Entries carry an opaque payload (the routing destination).
+    """
+
+    def __init__(self):
+        self._buckets: Dict[Tuple[str, Hashable], List[Tuple[Subscription, Any]]] = {}
+        self._fallback: List[Tuple[Subscription, Any]] = []
+        self._keys: Dict[Tuple[str, Any], Optional[Tuple[str, Hashable]]] = {}
+        self._size = 0
+
+    @staticmethod
+    def _index_key(subscription: Subscription) -> Optional[Tuple[str, Hashable]]:
+        best: Optional[Tuple[str, Hashable]] = None
+        for predicate in subscription.predicates:
+            if predicate.operator is Operator.EQ and isinstance(
+                predicate.value, Hashable
+            ):
+                key = (predicate.attribute, predicate.value)
+                # Prefer non-'class' attributes: 'class' is shared by the
+                # whole workload, so 'symbol' etc. is far more selective.
+                if best is None or best[0] == "class":
+                    best = key
+        return best
+
+    def __len__(self) -> int:
+        return self._size
+
+    def add(self, subscription: Subscription, payload: Any) -> None:
+        key = self._index_key(subscription)
+        entry_key = (subscription.sub_id, payload)
+        if entry_key in self._keys:
+            return
+        self._keys[entry_key] = key
+        if key is None:
+            self._fallback.append((subscription, payload))
+        else:
+            self._buckets.setdefault(key, []).append((subscription, payload))
+        self._size += 1
+
+    def remove_subscription(self, sub_id: str) -> None:
+        """Drop every entry of the given subscription."""
+        for entry_key in [k for k in self._keys if k[0] == sub_id]:
+            key = self._keys.pop(entry_key)
+            if key is None:
+                self._fallback = [
+                    (sub, payload)
+                    for sub, payload in self._fallback
+                    if sub.sub_id != sub_id
+                ]
+            elif key in self._buckets:
+                self._buckets[key] = [
+                    (sub, payload)
+                    for sub, payload in self._buckets[key]
+                    if sub.sub_id != sub_id
+                ]
+                if not self._buckets[key]:
+                    del self._buckets[key]
+            self._size -= 1
+
+    def matching_payloads(self, publication: Publication) -> List[Any]:
+        """Distinct payloads of subscriptions matching the publication."""
+        found: List[Any] = []
+        seen: Set[Any] = set()
+        for attribute, value in publication.attributes.items():
+            bucket = self._buckets.get((attribute, value))
+            if not bucket:
+                continue
+            for subscription, payload in bucket:
+                if payload not in seen and matches(subscription, publication):
+                    seen.add(payload)
+                    found.append(payload)
+        for subscription, payload in self._fallback:
+            if payload not in seen and matches(subscription, publication):
+                seen.add(payload)
+                found.append(payload)
+        return found
+
+    def matching_entries(
+        self, publication: Publication
+    ) -> List[Tuple[Subscription, Any]]:
+        """All (subscription, payload) pairs matching the publication.
+
+        Unlike :meth:`matching_payloads` this does not de-duplicate:
+        local delivery needs every matched subscription individually
+        (each is a separate delivery and a separate profile update).
+        """
+        found: List[Tuple[Subscription, Any]] = []
+        seen_subs: Set[str] = set()
+        for attribute, value in publication.attributes.items():
+            bucket = self._buckets.get((attribute, value))
+            if not bucket:
+                continue
+            for subscription, payload in bucket:
+                if subscription.sub_id not in seen_subs and matches(
+                    subscription, publication
+                ):
+                    seen_subs.add(subscription.sub_id)
+                    found.append((subscription, payload))
+        for subscription, payload in self._fallback:
+            if subscription.sub_id not in seen_subs and matches(
+                subscription, publication
+            ):
+                seen_subs.add(subscription.sub_id)
+                found.append((subscription, payload))
+        return found
+
+    def entries(self) -> Iterable[Tuple[Subscription, Any]]:
+        for bucket in self._buckets.values():
+            yield from bucket
+        yield from self._fallback

@@ -1,0 +1,121 @@
+"""Message types flowing through the broker overlay.
+
+Publications carry a per-publisher message ID and the publisher's
+advertisement ID (paper §III-B: "Each publisher appends a message ID,
+which is just an integer counter, as well as its globally unique
+advertisement ID into its publication messages"), which is exactly what
+lets CBCs maintain bit-vector profiles without understanding the
+payload.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Optional, Tuple
+
+from repro.pubsub.predicate import Predicate
+
+#: Nominal size of control-plane messages in kB (subs, advs, BIR/BIA).
+CONTROL_MESSAGE_KB = 0.1
+
+
+@dataclass(frozen=True)
+class Advertisement:
+    """A publisher's declaration of the publication space it will use."""
+
+    adv_id: str
+    publisher_id: str
+    predicates: Tuple[Predicate, ...]
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Adv({self.adv_id}: {','.join(map(str, self.predicates))})"
+
+
+@dataclass(frozen=True)
+class Subscription:
+    """A conjunction of predicates owned by one subscriber."""
+
+    sub_id: str
+    subscriber_id: str
+    predicates: Tuple[Predicate, ...]
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Sub({self.sub_id}: {','.join(map(str, self.predicates))})"
+
+
+@dataclass(frozen=True)
+class Unsubscription:
+    """Retract a previously issued subscription."""
+
+    sub_id: str
+    subscriber_id: str
+
+
+@dataclass(frozen=True)
+class Publication:
+    """One event, stamped with its publisher's identity and counter.
+
+    ``hops`` counts broker-to-broker transfers; it is incremented by
+    the overlay as the (immutable) publication is re-wrapped for each
+    forward, so concurrent in-flight copies never share mutable state.
+    """
+
+    adv_id: str
+    message_id: int
+    attributes: Dict[str, Any]
+    publish_time: float
+    size_kb: float
+    hops: int = 0
+
+    def hopped(self) -> "Publication":
+        """A copy with one more broker hop recorded."""
+        return replace(self, hops=self.hops + 1)
+
+
+# ----------------------------------------------------------------------
+# Control plane: CROC's information gathering protocol (paper §III-A)
+# ----------------------------------------------------------------------
+
+_bir_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class BrokerInformationRequest:
+    """BIR — flooded through the overlay by CROC."""
+
+    request_id: int = field(default_factory=lambda: next(_bir_ids))
+
+
+@dataclass
+class BrokerInformationAnswer:
+    """BIA — one broker's report, possibly aggregating its subtree.
+
+    ``reports`` maps broker_id → :class:`BrokerReport`; brokers merge
+    the BIAs received from the neighbors they forwarded the BIR to into
+    their own before answering, which reduces protocol overhead (paper
+    §III-A).
+    """
+
+    request_id: int
+    reports: Dict[str, "BrokerReport"]
+
+
+@dataclass
+class BrokerReport:
+    """What one broker tells CROC about itself (the BIA payload).
+
+    Mirrors the paper's BIA contents: URL, matching delay function,
+    total output bandwidth, local subscriptions with profiles, local
+    publishers with profiles.  The concrete types live in
+    :mod:`repro.core`; this dataclass just carries them.
+    """
+
+    broker_id: str
+    url: str
+    spec: Any  # repro.core.capacity.BrokerSpec
+    subscriptions: list  # list[repro.core.units.SubscriptionRecord]
+    publishers: list  # list[repro.core.profiles.PublisherProfile]
+    #: The broker's *measured* matching-delay function (OLS fit over its
+    #: recent processing samples); None until enough samples accumulate.
+    measured_delay: Any = None

@@ -1,0 +1,184 @@
+"""Measurement instrumentation for the simulated overlay.
+
+Collects, per measurement window: per-broker message counts (in/out)
+and output bytes, end-to-end delivery delays, and publication hop
+counts.  The experiment runner resets the window after each
+reconfiguration so reported numbers describe steady state only.
+
+Two averages of broker message rate are reported, matching the
+discussion in DESIGN.md: ``avg_broker_message_rate`` divides total
+broker traffic by the *full broker pool* (deallocated brokers count as
+idle — this is the paper's headline green-computing metric), while
+``avg_active_broker_message_rate`` divides by the brokers actually
+allocated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class BrokerCounters:
+    """Per-broker, per-window traffic counters."""
+
+    messages_in: int = 0
+    messages_out: int = 0
+    bytes_out_kb: float = 0.0
+    publications_in: int = 0
+    publications_out: int = 0
+    deliveries: int = 0
+
+    @property
+    def messages_total(self) -> int:
+        return self.messages_in + self.messages_out
+
+
+@dataclass
+class MetricsSummary:
+    """Steady-state measurements over one window."""
+
+    duration: float
+    pool_size: int
+    active_brokers: int
+    total_broker_messages: int
+    delivery_count: int
+    mean_delivery_delay: float
+    mean_hop_count: float
+    max_delivery_delay: float
+    avg_broker_message_rate: float
+    avg_active_broker_message_rate: float
+    mean_utilization: float
+    max_utilization: float
+    per_broker_rates: Dict[str, float] = field(default_factory=dict)
+
+    def as_row(self) -> Dict[str, float]:
+        """Flat dict for the report tables."""
+        return {
+            "active_brokers": self.active_brokers,
+            "avg_broker_message_rate": round(self.avg_broker_message_rate, 4),
+            "avg_active_broker_message_rate": round(
+                self.avg_active_broker_message_rate, 4
+            ),
+            "mean_delivery_delay_ms": round(self.mean_delivery_delay * 1000.0, 4),
+            "mean_hop_count": round(self.mean_hop_count, 4),
+            "deliveries": self.delivery_count,
+            "mean_utilization": round(self.mean_utilization, 4),
+        }
+
+
+class MetricsCollector:
+    """Counters shared by every broker in one network."""
+
+    def __init__(self, sim):
+        self._sim = sim
+        self._counters: Dict[str, BrokerCounters] = {}
+        self._window_start = 0.0
+        self._delay_sum = 0.0
+        self._delay_max = 0.0
+        self._hop_sum = 0
+        self._delivery_count = 0
+
+    # ------------------------------------------------------------------
+    # Event hooks (called by brokers)
+    # ------------------------------------------------------------------
+    def counters(self, broker_id: str) -> BrokerCounters:
+        counters = self._counters.get(broker_id)
+        if counters is None:
+            counters = BrokerCounters()
+            self._counters[broker_id] = counters
+        return counters
+
+    def on_receive(self, broker_id: str, is_publication: bool) -> None:
+        counters = self.counters(broker_id)
+        counters.messages_in += 1
+        if is_publication:
+            counters.publications_in += 1
+
+    def on_send(self, broker_id: str, size_kb: float, is_publication: bool,
+                to_client: bool = False) -> None:
+        counters = self.counters(broker_id)
+        counters.messages_out += 1
+        counters.bytes_out_kb += size_kb
+        if is_publication:
+            counters.publications_out += 1
+            if to_client:
+                counters.deliveries += 1
+
+    def on_delivery(self, delay: float, hops: int) -> None:
+        self._delivery_count += 1
+        self._delay_sum += delay
+        self._hop_sum += hops
+        if delay > self._delay_max:
+            self._delay_max = delay
+
+    # ------------------------------------------------------------------
+    # Windows
+    # ------------------------------------------------------------------
+    def reset_window(self) -> None:
+        """Start a fresh measurement window at the current time."""
+        self._counters.clear()
+        self._window_start = self._sim.now
+        self._delay_sum = 0.0
+        self._delay_max = 0.0
+        self._hop_sum = 0
+        self._delivery_count = 0
+
+    @property
+    def window_start(self) -> float:
+        return self._window_start
+
+    def summary(
+        self,
+        pool_size: int,
+        active_brokers: List[str],
+        bandwidth_by_broker: Optional[Dict[str, float]] = None,
+    ) -> MetricsSummary:
+        """Summarize the current window."""
+        duration = max(self._sim.now - self._window_start, 1e-9)
+        total_messages = sum(
+            counters.messages_total for counters in self._counters.values()
+        )
+        per_broker_rates = {
+            broker_id: counters.messages_total / duration
+            for broker_id, counters in self._counters.items()
+        }
+        active = [broker for broker in active_brokers if broker in self._counters]
+        active_rate = (
+            sum(per_broker_rates[broker] for broker in active) / len(active)
+            if active
+            else 0.0
+        )
+        utilizations: List[float] = []
+        if bandwidth_by_broker:
+            for broker_id in active_brokers:
+                capacity = bandwidth_by_broker.get(broker_id, 0.0)
+                if capacity <= 0:
+                    continue
+                counters = self._counters.get(broker_id)
+                used = counters.bytes_out_kb / duration if counters else 0.0
+                utilizations.append(min(1.0, used / capacity))
+        return MetricsSummary(
+            duration=duration,
+            pool_size=pool_size,
+            active_brokers=len(active_brokers),
+            total_broker_messages=total_messages,
+            delivery_count=self._delivery_count,
+            mean_delivery_delay=(
+                self._delay_sum / self._delivery_count if self._delivery_count else 0.0
+            ),
+            mean_hop_count=(
+                self._hop_sum / self._delivery_count if self._delivery_count else 0.0
+            ),
+            max_delivery_delay=self._delay_max,
+            avg_broker_message_rate=(
+                total_messages / duration / pool_size if pool_size else 0.0
+            ),
+            avg_active_broker_message_rate=active_rate,
+            mean_utilization=(
+                sum(utilizations) / len(utilizations) if utilizations else 0.0
+            ),
+            max_utilization=max(utilizations, default=0.0),
+            per_broker_rates=per_broker_rates,
+        )

@@ -1,0 +1,242 @@
+"""The simulated overlay network tying brokers, clients, and links together.
+
+Owns the simulator, the metrics collector, the broker pool, and the
+client population, and implements deployment execution: the paper
+re-instantiates every broker and re-connects the original clients to
+the new instances; :meth:`PubSubNetwork.apply_deployment` does the
+equivalent by resetting brokers to a clean state, rewiring the links of
+the new tree, and re-attaching every client at its assigned broker.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.core.bitvector import DEFAULT_CAPACITY
+from repro.core.capacity import BrokerSpec
+from repro.core.deployment import Deployment
+from repro.pubsub.broker import BROKER, Broker, CLIENT, Destination
+from repro.pubsub.client import PublisherClient, SubscriberClient
+from repro.pubsub.message import Publication
+from repro.pubsub.metrics import MetricsCollector
+from repro.sim.engine import Simulator
+
+#: One-way link latency inside the data center (seconds).
+DEFAULT_LINK_LATENCY = 0.0005
+
+
+class PubSubNetwork:
+    """A complete simulated publish/subscribe deployment."""
+
+    def __init__(
+        self,
+        sim: Optional[Simulator] = None,
+        link_latency: float = DEFAULT_LINK_LATENCY,
+        profile_capacity: int = DEFAULT_CAPACITY,
+        enable_covering: bool = False,
+    ):
+        self.sim = sim if sim is not None else Simulator()
+        self.metrics = MetricsCollector(self.sim)
+        self.link_latency = link_latency
+        self.profile_capacity = profile_capacity
+        self.enable_covering = enable_covering
+        self.brokers: Dict[str, Broker] = {}
+        self.publishers: Dict[str, PublisherClient] = {}
+        self.subscribers: Dict[str, SubscriberClient] = {}
+        self._subscriber_of_sub: Dict[str, str] = {}
+        self._links: set = set()
+        self._active_brokers: Optional[List[str]] = None
+        self._control_clients: Dict[str, Any] = {}
+        #: Optional repro.pubsub.tracing.MessageTracer; brokers and the
+        #: network record publication trace events while it is set.
+        self.tracer = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_broker(self, spec: BrokerSpec) -> Broker:
+        if spec.broker_id in self.brokers:
+            raise ValueError(f"broker {spec.broker_id!r} already exists")
+        broker = Broker(spec, self, self.profile_capacity,
+                        covering_enabled=self.enable_covering)
+        self.brokers[spec.broker_id] = broker
+        return broker
+
+    def connect_brokers(self, first: str, second: str) -> None:
+        if first == second:
+            raise ValueError("cannot link a broker to itself")
+        self.brokers[first].add_neighbor(second)
+        self.brokers[second].add_neighbor(first)
+        self._links.add(frozenset((first, second)))
+
+    def disconnect_all(self) -> None:
+        for broker in self.brokers.values():
+            broker.neighbors.clear()
+        self._links.clear()
+
+    @property
+    def links(self) -> List[Tuple[str, str]]:
+        return [tuple(sorted(link)) for link in sorted(self._links, key=sorted)]
+
+    @property
+    def active_brokers(self) -> List[str]:
+        """Brokers in the current deployment (all, before any deployment)."""
+        if self._active_brokers is None:
+            return list(self.brokers)
+        return list(self._active_brokers)
+
+    def broker_pool(self) -> List[BrokerSpec]:
+        return [broker.spec for broker in self.brokers.values()]
+
+    # ------------------------------------------------------------------
+    # Clients
+    # ------------------------------------------------------------------
+    def register_publisher(self, publisher: PublisherClient) -> None:
+        """Make the client known without attaching it to a broker yet."""
+        self.publishers[publisher.client_id] = publisher
+
+    def register_subscriber(self, subscriber: SubscriberClient) -> None:
+        self.subscribers[subscriber.client_id] = subscriber
+        for subscription in subscriber.subscriptions:
+            self._subscriber_of_sub[subscription.sub_id] = subscriber.client_id
+
+    def attach_publisher(self, publisher: PublisherClient, broker_id: str) -> None:
+        if publisher.client_id in self.publishers and publisher.broker_id is not None:
+            raise ValueError(f"publisher {publisher.client_id!r} already attached")
+        self.register_publisher(publisher)
+        self.brokers[broker_id].attach_client(publisher.client_id)
+        publisher.attached(self, broker_id)
+
+    def attach_subscriber(self, subscriber: SubscriberClient, broker_id: str) -> None:
+        if subscriber.client_id in self.subscribers and subscriber.broker_id is not None:
+            raise ValueError(f"subscriber {subscriber.client_id!r} already attached")
+        self.register_subscriber(subscriber)
+        self.brokers[broker_id].attach_client(subscriber.client_id)
+        subscriber.attached(self, broker_id)
+
+    def detach_all_clients(self) -> None:
+        for publisher in self.publishers.values():
+            if publisher.broker_id is not None:
+                self.brokers[publisher.broker_id].detach_client(publisher.client_id)
+                publisher.detached()
+        for subscriber in self.subscribers.values():
+            if subscriber.broker_id is not None:
+                self.brokers[subscriber.broker_id].detach_client(subscriber.client_id)
+                subscriber.detached()
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def client_send(self, client_id: str, broker_id: str, message: Any,
+                    size_kb: float) -> None:
+        """A client injects a message at its broker (one link latency)."""
+        if self.tracer is not None and isinstance(message, Publication):
+            self.tracer.record(self.sim.now, "publish", client_id,
+                               message.adv_id, message.message_id,
+                               detail=f"-> {broker_id}")
+        broker = self.brokers[broker_id]
+        self.sim.schedule(
+            self.link_latency, lambda: broker.receive(message, (CLIENT, client_id))
+        )
+
+    def deliver(self, sender_broker: str, destination: Destination, message: Any,
+                sent_at: float) -> None:
+        """Complete a broker transmission after serialization + latency."""
+        arrival = sent_at + self.link_latency
+        kind, identifier = destination
+        if kind == BROKER:
+            target = self.brokers[identifier]
+            self.sim.schedule_at(
+                arrival, lambda: target.receive(message, (BROKER, sender_broker))
+            )
+        else:
+            self.sim.schedule_at(
+                arrival, lambda: self._deliver_to_client(identifier, message)
+            )
+
+    def register_control_client(self, client_id: str, callback) -> None:
+        """Register an out-of-band client (e.g. CROC) with a message callback."""
+        self._control_clients[client_id] = callback
+
+    def _deliver_to_client(self, client_id: str, message: Any) -> None:
+        control = self._control_clients.get(client_id)
+        if control is not None:
+            control(message)
+            return
+        subscriber = self.subscribers.get(client_id)
+        if subscriber is None:
+            return  # publisher clients, or client migrated away mid-flight
+        if isinstance(message, Publication):
+            now = self.sim.now
+            if self.tracer is not None:
+                self.tracer.record(now, "deliver", client_id,
+                                   message.adv_id, message.message_id,
+                                   detail=f"hops={message.hops}")
+            self.metrics.on_delivery(now - message.publish_time, message.hops)
+            subscriber.receive(message, now)
+
+    # ------------------------------------------------------------------
+    # Deployment execution
+    # ------------------------------------------------------------------
+    def apply_deployment(self, deployment: Deployment) -> None:
+        """Tear down and redeploy per the given layout (paper §VI-A).
+
+        Clients keep their identity (publishers keep their message-ID
+        counters), brokers restart from a clean state, and the new
+        overlay is wired from the deployment's tree.  Control traffic
+        (advertisements, subscriptions) replays through the new overlay;
+        run the simulator briefly afterwards to let it quiesce.
+        """
+        deployment.validate()
+        unknown = [
+            broker_id
+            for broker_id in deployment.tree.brokers
+            if broker_id not in self.brokers
+        ]
+        if unknown:
+            raise ValueError(
+                f"deployment names brokers not in this network: {sorted(unknown)}"
+            )
+        self.detach_all_clients()
+        for broker in self.brokers.values():
+            broker.reset()
+        self._links.clear()
+        for parent, child in deployment.tree.edges():
+            self.connect_brokers(parent, child)
+        self._active_brokers = list(deployment.tree.brokers)
+        for sub_id, broker_id in deployment.subscription_placement.items():
+            client_id = self._subscriber_of_sub.get(sub_id)
+            if client_id is None:
+                continue
+            subscriber = self.subscribers[client_id]
+            if subscriber.departed:
+                continue
+            if subscriber.broker_id is None:
+                self.brokers[broker_id].attach_client(client_id)
+                subscriber.attached(self, broker_id)
+        # Any subscriber not named by the plan (e.g. its subscriptions
+        # recorded no traffic) falls back to the root.
+        for subscriber in self.subscribers.values():
+            if subscriber.departed:
+                continue
+            if subscriber.broker_id is None:
+                root = deployment.tree.root
+                self.brokers[root].attach_client(subscriber.client_id)
+                subscriber.attached(self, root)
+        for publisher in self.publishers.values():
+            broker_id = deployment.publisher_placement.get(
+                publisher.adv_id, deployment.tree.root
+            )
+            self.brokers[broker_id].attach_client(publisher.client_id)
+            publisher.attached(self, broker_id)
+
+    def run(self, duration: float) -> None:
+        """Advance virtual time by ``duration`` seconds."""
+        self.sim.run(until=self.sim.now + duration)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PubSubNetwork(brokers={len(self.brokers)}, "
+            f"publishers={len(self.publishers)}, "
+            f"subscribers={len(self.subscribers)})"
+        )

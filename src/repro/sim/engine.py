@@ -1,0 +1,138 @@
+"""A minimal, deterministic discrete-event simulation engine.
+
+The engine is a priority queue of timestamped callbacks.  Ties are
+broken by insertion order, which keeps runs bit-for-bit reproducible
+regardless of hash randomization or dict ordering quirks.
+
+Example
+-------
+>>> sim = Simulator()
+>>> fired = []
+>>> _ = sim.schedule(5.0, lambda: fired.append(sim.now))
+>>> _ = sim.schedule(1.0, lambda: fired.append(sim.now))
+>>> sim.run()
+>>> fired
+[1.0, 5.0]
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+
+class SimulationError(Exception):
+    """Raised when the engine is used inconsistently."""
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are returned by :meth:`Simulator.schedule` and can be
+    cancelled before they fire.  A cancelled event stays in the heap but
+    is skipped when popped, which keeps cancellation O(1).
+    """
+
+    __slots__ = ("time", "callback", "cancelled")
+
+    def __init__(self, time: float, callback: Callable[[], None]):
+        self.time = time
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time:.6f}, {state})"
+
+
+class Simulator:
+    """Virtual-time event loop.
+
+    Parameters
+    ----------
+    start_time:
+        Initial value of the clock.  Experiments usually start at 0.
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = start_time
+        self._heap: List[Tuple[float, int, Event]] = []
+        self._sequence = itertools.count()
+        self._running = False
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far (skips cancelled events)."""
+        return self._events_processed
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued, including cancelled ones."""
+        return len(self._heap)
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at an absolute virtual time."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before current time t={self._now}"
+            )
+        event = Event(time, callback)
+        heapq.heappush(self._heap, (time, next(self._sequence), event))
+        return event
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run events in timestamp order.
+
+        Parameters
+        ----------
+        until:
+            Stop once the clock would pass this time.  Events scheduled
+            exactly at ``until`` are executed.  The clock is advanced to
+            ``until`` when the queue drains early, so repeated
+            ``run(until=...)`` calls tile time contiguously.
+        max_events:
+            Safety valve for tests; stop after this many callbacks.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        executed = 0
+        try:
+            while self._heap:
+                time, _seq, event = self._heap[0]
+                if until is not None and time > until:
+                    break
+                heapq.heappop(self._heap)
+                if event.cancelled:
+                    continue
+                self._now = time
+                event.callback()
+                self._events_processed += 1
+                executed += 1
+                if max_events is not None and executed >= max_events:
+                    break
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until
+
+    def drain(self) -> None:
+        """Run until the queue is completely empty."""
+        self.run()

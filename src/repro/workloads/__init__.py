@@ -1,0 +1,20 @@
+"""Workload generation: stock-quote feeds, subscriptions, scenarios."""
+
+from repro.workloads import monitoring, scenarios
+from repro.workloads.offline import offline_gather
+from repro.workloads.stocks import STOCK_SYMBOLS, StockQuoteFeed, stock_advertisement
+from repro.workloads.subscriptions import (
+    subscription_workload,
+    subscriptions_for_symbol,
+)
+
+__all__ = [
+    "monitoring",
+    "scenarios",
+    "offline_gather",
+    "STOCK_SYMBOLS",
+    "StockQuoteFeed",
+    "stock_advertisement",
+    "subscription_workload",
+    "subscriptions_for_symbol",
+]

@@ -1,0 +1,176 @@
+"""A systems-monitoring workload — a second domain for the framework.
+
+The paper motivates its approach with enterprise systems *beyond*
+stock quotes: network/systems monitoring, business activity
+monitoring, RSS dissemination.  Its central design point is that the
+allocation framework never inspects the subscription language — only
+bit vectors — so it must work unchanged on any workload.  This module
+provides that second domain: hosts in a data center publish metric
+samples, and operations teams subscribe to dashboards and alerts.
+
+Publication schema::
+
+    [class,'METRIC'],[host,'web-007'],[role,'web'],[metric,'cpu'],
+    [value,73.2],[severity,2],[seq,118]
+
+Subscription population (per host-role, mirroring real monitoring
+stacks):
+
+* *dashboards* — everything from one host (``host = X``);
+* *rollups* — one metric across a role (``role = R, metric = M``);
+* *alerts* — threshold triggers (``role = R, metric = M, value > T``)
+  and severity filters (``severity >= S``), which match rare events
+  and produce the sparse bit vectors that stress CRAM's closeness
+  metrics from a completely different distribution than stock quotes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.pubsub.message import Advertisement, Subscription
+from repro.pubsub.predicate import Operator, Predicate
+from repro.sim.rng import SeededRng
+
+#: Host roles with (metric mix, baseline value ranges).
+ROLES: Tuple[str, ...] = ("web", "db", "cache", "queue")
+
+METRICS: Dict[str, Tuple[float, float]] = {
+    "cpu": (5.0, 95.0),       # percent
+    "memory": (10.0, 90.0),   # percent
+    "disk_io": (0.0, 400.0),  # MB/s
+    "latency": (0.2, 250.0),  # ms
+}
+
+#: Severity levels: 0 = info ... 3 = critical (rarer as level rises).
+SEVERITY_WEIGHTS = (0.70, 0.20, 0.08, 0.02)
+
+
+def host_name(role: str, index: int) -> str:
+    return f"{role}-{index:03d}"
+
+
+class MetricFeed:
+    """Endless metric samples for one host.
+
+    Values follow a mean-reverting walk per metric; severity spikes are
+    sampled independently so alert subscriptions see rare, bursty
+    matches — a deliberately different distribution from OHLCV bars.
+    """
+
+    def __init__(self, host: str, role: str, rng: SeededRng):
+        self.host = host
+        self.role = role
+        self._rng = rng.child("metrics", host)
+        self._levels = {
+            metric: self._rng.uniform(low, high)
+            for metric, (low, high) in METRICS.items()
+        }
+        self._metrics = tuple(METRICS)
+        self._seq = 0
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        return self
+
+    def __next__(self) -> Dict[str, Any]:
+        metric = self._metrics[self._seq % len(self._metrics)]
+        low, high = METRICS[metric]
+        level = self._levels[metric]
+        # Mean-revert toward the middle of the range with noise.
+        middle = (low + high) / 2.0
+        level += 0.2 * (middle - level) + self._rng.gauss(0.0, (high - low) * 0.08)
+        level = min(high, max(low, level))
+        self._levels[metric] = level
+        point = self._rng.random()
+        severity = 0
+        cumulative = 0.0
+        for index, weight in enumerate(SEVERITY_WEIGHTS):
+            cumulative += weight
+            if point <= cumulative:
+                severity = index
+                break
+        self._seq += 1
+        return {
+            "class": "METRIC",
+            "host": self.host,
+            "role": self.role,
+            "metric": metric,
+            "value": round(level, 2),
+            "severity": severity,
+            "seq": self._seq,
+        }
+
+
+def metric_advertisement(host: str, role: str,
+                         adv_id: Optional[str] = None) -> Advertisement:
+    """The advertisement a host agent floods before publishing."""
+    predicates = (
+        Predicate("class", Operator.EQ, "METRIC"),
+        Predicate("host", Operator.EQ, host),
+        Predicate("role", Operator.EQ, role),
+        Predicate("metric", Operator.PRESENT),
+        Predicate("value", Operator.GE, 0.0),
+        Predicate("severity", Operator.GE, 0.0),
+        Predicate("seq", Operator.GE, 0.0),
+    )
+    return Advertisement(
+        adv_id=adv_id or f"adv-{host}",
+        publisher_id=f"agent-{host}",
+        predicates=predicates,
+    )
+
+
+def monitoring_subscriptions(
+    hosts: Sequence[Tuple[str, str]],
+    count: int,
+    rng: SeededRng,
+) -> List[Subscription]:
+    """Generate ``count`` operations-team subscriptions.
+
+    Mix: 30% host dashboards, 30% role/metric rollups, 25% threshold
+    alerts, 15% severity filters.
+    """
+    rng = rng.child("monitoring-subs")
+    subscriptions: List[Subscription] = []
+    roles = sorted({role for _host, role in hosts})
+    for index in range(count):
+        sub_id = f"ops-{index}"
+        draw = rng.random()
+        predicates: List[Predicate] = [Predicate("class", Operator.EQ, "METRIC")]
+        if draw < 0.30:  # dashboard
+            host, _role = rng.choice(hosts)
+            predicates.append(Predicate("host", Operator.EQ, host))
+        elif draw < 0.60:  # rollup
+            role = rng.choice(roles)
+            metric = rng.choice(tuple(METRICS))
+            predicates.append(Predicate("role", Operator.EQ, role))
+            predicates.append(Predicate("metric", Operator.EQ, metric))
+        elif draw < 0.85:  # threshold alert
+            role = rng.choice(roles)
+            metric = rng.choice(tuple(METRICS))
+            low, high = METRICS[metric]
+            threshold = round(low + (high - low) * rng.uniform(0.6, 0.95), 2)
+            predicates.append(Predicate("role", Operator.EQ, role))
+            predicates.append(Predicate("metric", Operator.EQ, metric))
+            predicates.append(Predicate("value", Operator.GT, threshold))
+        else:  # severity filter
+            predicates.append(
+                Predicate("severity", Operator.GE, float(rng.randint(1, 3)))
+            )
+        subscriptions.append(
+            Subscription(
+                sub_id=sub_id,
+                subscriber_id=sub_id,
+                predicates=tuple(predicates),
+            )
+        )
+    return subscriptions
+
+
+def build_hosts(host_count: int, rng: SeededRng) -> List[Tuple[str, str]]:
+    """(host, role) pairs, roles assigned round-robin with jitter."""
+    hosts = []
+    for index in range(host_count):
+        role = ROLES[index % len(ROLES)]
+        hosts.append((host_name(role, index), role))
+    return rng.shuffled(hosts)

@@ -1,0 +1,95 @@
+"""Offline profile generation: Phase-1 output without running the DES.
+
+The allocation algorithms only consume bit-vector profiles, broker
+specs, and publisher profiles — everything CROC's Phase 1 gathers.
+For algorithm-only studies (computation-time benchmarks, GIF/poset
+statistics, CRAM ablations) simulating the whole overlay is wasted
+work: this module replays each symbol's quote feed through the
+subscription matcher directly and synthesizes the exact profiles the
+CBCs would have produced.
+
+The result is byte-for-byte the same *kind* of input CROC sees —
+:class:`~repro.core.croc.GatherResult` — so anything accepting gathered
+state runs unchanged on it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.croc import GatherResult
+from repro.core.profiles import PublisherProfile, SubscriptionProfile
+from repro.core.units import SubscriptionRecord
+from repro.pubsub.matching import matches
+from repro.pubsub.message import Publication
+from repro.sim.rng import SeededRng
+from repro.workloads.scenarios import Scenario
+from repro.workloads.stocks import StockQuoteFeed
+from repro.workloads.subscriptions import subscription_workload
+
+
+def offline_gather(
+    scenario: Scenario,
+    seed: int = 0,
+    window: Optional[int] = None,
+) -> GatherResult:
+    """Synthesize the GatherResult a profiling run would produce.
+
+    Parameters
+    ----------
+    scenario:
+        Any scenario; its broker pool, symbols, subscription counts,
+        and rates are used.
+    window:
+        How many publications per publisher to replay (defaults to the
+        scenario's profile capacity — a full bit vector).
+    """
+    window = window if window is not None else scenario.profile_capacity
+    rng = SeededRng(seed, "offline", scenario.name)
+    feeds = {symbol: StockQuoteFeed(symbol, rng) for symbol in scenario.symbols}
+    price_hints = {symbol: feed.price for symbol, feed in feeds.items()}
+    workload = subscription_workload(
+        scenario.symbols,
+        scenario.subscription_counts,
+        rng,
+        price_hints=price_hints,
+        threshold_buckets=scenario.threshold_buckets,
+    )
+    directory: Dict[str, PublisherProfile] = {}
+    records: List[SubscriptionRecord] = []
+    for symbol in scenario.symbols:
+        adv_id = f"adv-{symbol}"
+        directory[adv_id] = PublisherProfile(
+            adv_id=adv_id,
+            publication_rate=scenario.publication_rate,
+            bandwidth=scenario.publication_rate * scenario.message_kb,
+            last_message_id=window,
+        )
+        publications = [
+            Publication(
+                adv_id=adv_id,
+                message_id=message_id,
+                attributes=next(feeds[symbol]),
+                publish_time=0.0,
+                size_kb=scenario.message_kb,
+            )
+            for message_id in range(1, window + 1)
+        ]
+        for subscription in workload[symbol]:
+            profile = SubscriptionProfile(capacity=scenario.profile_capacity)
+            for publication in publications:
+                if matches(subscription, publication):
+                    profile.record(adv_id, publication.message_id)
+            profile.synchronize(directory)
+            records.append(
+                SubscriptionRecord(
+                    sub_id=subscription.sub_id,
+                    subscriber_id=subscription.subscriber_id,
+                    profile=profile,
+                )
+            )
+    return GatherResult(
+        broker_pool=scenario.broker_specs(),
+        records=records,
+        directory=directory,
+    )

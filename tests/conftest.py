@@ -1,0 +1,95 @@
+"""Shared test fixtures and builders."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import pytest
+
+from repro.core.bitvector import BitVector
+from repro.core.capacity import BrokerSpec, MatchingDelayFunction
+from repro.core.profiles import PublisherProfile, SubscriptionProfile
+from repro.core.units import AllocationUnit, SubscriptionRecord
+
+# ----------------------------------------------------------------------
+# Profile / unit builders used across most core tests
+# ----------------------------------------------------------------------
+
+
+def make_profile(
+    bits_by_adv: Dict[str, Iterable[int]], capacity: int = 64
+) -> SubscriptionProfile:
+    """A profile with the given publication IDs set per publisher."""
+    profile = SubscriptionProfile(capacity=capacity)
+    for adv_id, ids in bits_by_adv.items():
+        for pub_id in sorted(ids):
+            profile.record(adv_id, pub_id)
+    return profile
+
+
+def make_directory(
+    advs: Sequence[str],
+    rate: float = 10.0,
+    bandwidth: float = 10.0,
+    last_message_id: int = 63,
+) -> Dict[str, PublisherProfile]:
+    """Uniform publisher directory: each adv at the same rate/bandwidth."""
+    return {
+        adv_id: PublisherProfile(
+            adv_id=adv_id,
+            publication_rate=rate,
+            bandwidth=bandwidth,
+            last_message_id=last_message_id,
+        )
+        for adv_id in advs
+    }
+
+
+_record_counter = [0]
+
+
+def make_record(
+    bits_by_adv: Dict[str, Iterable[int]],
+    capacity: int = 64,
+    sub_id: Optional[str] = None,
+) -> SubscriptionRecord:
+    _record_counter[0] += 1
+    name = sub_id or f"s{_record_counter[0]}"
+    return SubscriptionRecord(
+        sub_id=name,
+        subscriber_id=name,
+        profile=make_profile(bits_by_adv, capacity=capacity),
+    )
+
+
+def make_unit(
+    bits_by_adv: Dict[str, Iterable[int]],
+    directory: Dict[str, PublisherProfile],
+    capacity: int = 64,
+    sub_id: Optional[str] = None,
+) -> AllocationUnit:
+    record = make_record(bits_by_adv, capacity=capacity, sub_id=sub_id)
+    return AllocationUnit.for_subscription(record, directory)
+
+
+def make_spec(
+    broker_id: str,
+    bandwidth: float = 100.0,
+    base_delay: float = 1e-4,
+    per_sub_delay: float = 1e-6,
+) -> BrokerSpec:
+    return BrokerSpec(
+        broker_id=broker_id,
+        total_output_bandwidth=bandwidth,
+        delay_function=MatchingDelayFunction(base=base_delay, per_subscription=per_sub_delay),
+    )
+
+
+def make_pool(count: int, bandwidth: float = 100.0) -> List[BrokerSpec]:
+    return [make_spec(f"B{i:02d}", bandwidth=bandwidth) for i in range(count)]
+
+
+@pytest.fixture
+def directory():
+    """Two publishers, 10 msg/s and 10 kB/s each, window of 64."""
+    return make_directory(["A", "B"])

@@ -1,0 +1,111 @@
+"""Tests for the MANUAL and AUTOMATIC baseline deployments."""
+
+import pytest
+
+from repro.core.baselines import automatic_deployment, manual_deployment
+from repro.sim.rng import SeededRng
+
+from conftest import make_pool, make_spec
+
+
+def pool_with_tiers():
+    return (
+        [make_spec(f"big{i}", 100.0) for i in range(2)]
+        + [make_spec(f"mid{i}", 50.0) for i in range(3)]
+        + [make_spec(f"sml{i}", 25.0) for i in range(5)]
+    )
+
+
+class TestManual:
+    def test_fanout_two_tree(self):
+        pool = make_pool(7)
+        deployment = manual_deployment(pool, ["s1"], ["A"], SeededRng(0, "t"))
+        deployment.validate()
+        tree = deployment.tree
+        assert len(tree) == 7
+        for broker in tree.brokers:
+            assert len(tree.children(broker)) <= 2
+
+    def test_all_brokers_in_tree(self):
+        pool = make_pool(12)
+        deployment = manual_deployment(pool, [], [], SeededRng(0, "t"))
+        assert len(deployment.tree) == 12
+
+    def test_homogeneous_ids_ordered_top_down(self):
+        pool = make_pool(5)
+        deployment = manual_deployment(pool, [], [], SeededRng(0, "t"))
+        assert deployment.tree.root == "B00"
+
+    def test_heterogeneous_puts_resourceful_on_top(self):
+        pool = pool_with_tiers()
+        deployment = manual_deployment(
+            pool, [], [], SeededRng(0, "t"), heterogeneous=True
+        )
+        tree = deployment.tree
+        assert tree.root.startswith("big")
+        # Leaves are drawn from the weakest tier.
+        assert all(leaf.startswith("sml") for leaf in tree.leaves())
+
+    def test_heterogeneous_subscriber_placement_proportional(self):
+        pool = pool_with_tiers()
+        subs = [f"s{i}" for i in range(600)]
+        deployment = manual_deployment(
+            pool, subs, [], SeededRng(1, "t"), heterogeneous=True
+        )
+        counts = {"big": 0, "mid": 0, "sml": 0}
+        for broker in deployment.subscription_placement.values():
+            counts[broker[:3]] += 1
+        per_big = counts["big"] / 2
+        per_sml = counts["sml"] / 5
+        assert per_big > per_sml  # 100 kB/s brokers host more than 25 kB/s
+
+    def test_every_client_placed(self):
+        pool = make_pool(4)
+        deployment = manual_deployment(
+            pool, ["s1", "s2"], ["A", "B"], SeededRng(0, "t")
+        )
+        assert set(deployment.subscription_placement) == {"s1", "s2"}
+        assert set(deployment.publisher_placement) == {"A", "B"}
+
+    def test_deterministic_under_seed(self):
+        pool = make_pool(6)
+        a = manual_deployment(pool, ["s1", "s2"], ["A"], SeededRng(5, "x"))
+        b = manual_deployment(pool, ["s1", "s2"], ["A"], SeededRng(5, "x"))
+        assert a.subscription_placement == b.subscription_placement
+        assert list(a.tree.edges()) == list(b.tree.edges())
+
+    def test_empty_pool_raises(self):
+        with pytest.raises(ValueError):
+            manual_deployment([], [], [], SeededRng(0, "t"))
+
+    def test_custom_fanout(self):
+        pool = make_pool(13)
+        deployment = manual_deployment(pool, [], [], SeededRng(0, "t"), fanout=3)
+        for broker in deployment.tree.brokers:
+            assert len(deployment.tree.children(broker)) <= 3
+
+
+class TestAutomatic:
+    def test_random_tree_spans_pool(self):
+        pool = make_pool(9)
+        deployment = automatic_deployment(pool, ["s1"], ["A"], SeededRng(0, "t"))
+        deployment.validate()
+        assert len(deployment.tree) == 9
+
+    def test_random_placement_covers_all_clients(self):
+        pool = make_pool(4)
+        subs = [f"s{i}" for i in range(10)]
+        deployment = automatic_deployment(pool, subs, ["A"], SeededRng(0, "t"))
+        assert set(deployment.subscription_placement) == set(subs)
+
+    def test_different_seeds_give_different_overlays(self):
+        pool = make_pool(10)
+        edge_sets = {
+            tuple(sorted(automatic_deployment(pool, [], [], SeededRng(seed, "t")).tree.edges()))
+            for seed in range(5)
+        }
+        assert len(edge_sets) > 1
+
+    def test_empty_pool_raises(self):
+        with pytest.raises(ValueError):
+            automatic_deployment([], [], [], SeededRng(0, "t"))

@@ -1,0 +1,67 @@
+"""Tests for the command-line interface."""
+
+import csv
+import json
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.scenario == "homo"
+        assert args.scale == 0.25
+
+    def test_figure_requires_figure(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure"])
+
+    def test_unknown_approach_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--approach", "magic"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "cram-ios" in out
+        assert "message-rate" in out
+        assert "scinet" in out
+
+    def test_run_prints_table_and_exports(self, tmp_path, capsys):
+        csv_path = tmp_path / "rows.csv"
+        json_path = tmp_path / "rows.json"
+        code = main([
+            "run", "--scenario", "homo", "--subs", "8", "--scale", "0.1",
+            "--approach", "manual",
+            "--measurement-time", "10",
+            "--csv", str(csv_path), "--json", str(json_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "manual" in out
+        with open(csv_path) as handle:
+            rows = list(csv.DictReader(handle))
+        assert rows[0]["approach"] == "manual"
+        with open(json_path) as handle:
+            data = json.load(handle)
+        assert data[0]["approach"] == "manual"
+
+    def test_figure_command(self, capsys):
+        code = main([
+            "figure", "--figure", "brokers", "--scenario", "homo",
+            "--subs", "8", "--scale", "0.1",
+            "--approach", "manual", "--approach", "binpacking",
+            "--measurement-time", "10",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "figure: brokers" in out
+        assert "binpacking" in out

@@ -1,0 +1,89 @@
+"""CLI coverage for the het/scinet scenario families and figure export."""
+
+import csv
+
+import pytest
+
+from repro.experiments.cli import main
+
+
+class TestScenarioFamilies:
+    def test_het_family_runs(self, capsys):
+        code = main([
+            "run", "--scenario", "het", "--subs", "10", "--scale", "0.1",
+            "--approach", "binpacking", "--measurement-time", "10",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "binpacking" in out
+
+    def test_scinet_family_runs(self, capsys):
+        code = main([
+            "run", "--scenario", "scinet", "--scale", "0.02",
+            "--approach", "manual", "--measurement-time", "10",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        # Both SciNet sizes (400- and 1000-broker, scaled) appear.
+        assert out.count("manual") >= 2
+
+    def test_figure_csv_export(self, tmp_path, capsys):
+        path = tmp_path / "figure.csv"
+        code = main([
+            "figure", "--figure", "hops", "--scenario", "homo",
+            "--subs", "8", "--scale", "0.1",
+            "--approach", "manual", "--approach", "cram-ios",
+            "--measurement-time", "10",
+            "--csv", str(path),
+        ])
+        assert code == 0
+        with open(path) as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 1
+        assert float(rows[0]["cram-ios"]) < float(rows[0]["manual"])
+
+
+class TestErrorHandling:
+    def test_infeasible_pool_exits_with_code_2(self, capsys):
+        """An overloaded scenario fails loudly instead of tracebacking."""
+        from repro.experiments.sweeps import homogeneous_scenarios
+
+        scenarios = homogeneous_scenarios(subs_sweep=(10,), scale=0.1)
+        scenario = scenarios[0]
+        # Rebuild the same scenario with hopeless broker bandwidth and
+        # drive cmd_run via main() arguments it can express: use a tiny
+        # scale and an approach that needs allocation, with bandwidth
+        # forced through a monkeypatched factory.
+        from repro.experiments import cli
+
+        def broken_scenarios(args):
+            from repro.workloads.scenarios import cluster_homogeneous
+
+            return [cluster_homogeneous(
+                subscriptions_per_publisher=10, scale=0.1,
+                broker_bandwidth_kbps=0.001, measurement_time=5.0,
+            )]
+
+        original = cli._build_scenarios
+        cli._build_scenarios = broken_scenarios
+        try:
+            code = cli.main([
+                "run", "--scenario", "homo", "--subs", "10",
+                "--approach", "binpacking", "--measurement-time", "5",
+            ])
+        finally:
+            cli._build_scenarios = original
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestDeploymentSafety:
+    def test_deployment_with_unknown_broker_rejected(self):
+        from repro.core.deployment import BrokerTree, Deployment
+        from test_broker_routing import make_network
+
+        network = make_network(2)
+        tree = BrokerTree("b0")
+        tree.add_broker("ghost", "b0")
+        with pytest.raises(ValueError, match="not in this network"):
+            network.apply_deployment(Deployment(tree=tree))

@@ -1,0 +1,140 @@
+"""Tests for the four closeness metrics (paper §IV-C)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.closeness import (
+    METRIC_NAMES,
+    XOR_MAX,
+    intersect_metric,
+    ios_metric,
+    iou_metric,
+    make_metric,
+    xor_metric,
+)
+
+from conftest import make_profile
+
+
+class TestIntersect:
+    def test_counts_shared_bits(self):
+        a = make_profile({"A": [1, 2, 3]})
+        b = make_profile({"A": [2, 3, 4]})
+        assert intersect_metric(a, b) == 2.0
+
+    def test_zero_for_empty_relation(self):
+        assert intersect_metric(make_profile({"A": [1]}), make_profile({"A": [2]})) == 0.0
+
+
+class TestXor:
+    def test_inverse_of_xor_cardinality(self):
+        a = make_profile({"A": [1, 2]})
+        b = make_profile({"A": [2, 3]})
+        assert xor_metric(a, b) == pytest.approx(0.5)
+
+    def test_capped_for_identical_profiles(self):
+        a = make_profile({"A": [1, 2]})
+        b = make_profile({"A": [1, 2]})
+        assert xor_metric(a, b) == XOR_MAX
+
+    def test_nonzero_even_for_disjoint_profiles(self):
+        """The Gryphon flaw: XOR cannot distinguish empty relations."""
+        a = make_profile({"A": [1]})
+        b = make_profile({"A": [2]})
+        assert xor_metric(a, b) > 0.0
+
+
+class TestIosIou:
+    def test_paper_figure3_example(self):
+        """|S1|=36, |S2|=16, |S1∩S2|=8 → IOS = 64/52 ≈ 1.23... with the
+        paper's rounded numbers 8²÷60 ≈ 1.07 uses |S1|+|S2|=60 before
+        removing the overlap; we verify the formula directly."""
+        s1 = make_profile({"A": range(36)}, capacity=64)
+        s2 = make_profile({"A": range(28, 44)}, capacity=64)  # 16 bits, 8 shared
+        assert s1.cardinality == 36
+        assert s2.cardinality == 16
+        assert s1.intersection_cardinality(s2) == 8
+        assert ios_metric(s1, s2) == pytest.approx(8 * 8 / (36 + 16))
+        assert iou_metric(s1, s2) == pytest.approx(8 * 8 / 44)
+
+    def test_zero_on_empty_relation(self):
+        a = make_profile({"A": [1]})
+        b = make_profile({"B": [1]})
+        assert ios_metric(a, b) == 0.0
+        assert iou_metric(a, b) == 0.0
+
+    def test_favours_high_traffic_pairs(self):
+        """Squaring the intersection prefers heavy overlapping pairs."""
+        heavy_a = make_profile({"A": range(20)})
+        heavy_b = make_profile({"A": range(20)})
+        light_a = make_profile({"A": [1, 2]})
+        light_b = make_profile({"A": [1, 2]})
+        assert ios_metric(heavy_a, heavy_b) > ios_metric(light_a, light_b)
+        assert iou_metric(heavy_a, heavy_b) > iou_metric(light_a, light_b)
+
+    def test_penalizes_dragged_along_traffic(self):
+        """Same overlap, more non-shared traffic → lower closeness."""
+        base = make_profile({"A": range(10)})
+        tight = make_profile({"A": range(10)})
+        baggy = make_profile({"A": range(30)})
+        assert ios_metric(base, tight) > ios_metric(base, baggy)
+        assert iou_metric(base, tight) > iou_metric(base, baggy)
+
+
+class TestRegistry:
+    def test_all_four_metrics_exist(self):
+        assert set(METRIC_NAMES) == {"intersect", "xor", "ios", "iou"}
+
+    def test_prunable_flags(self):
+        assert make_metric("intersect").prunable
+        assert make_metric("ios").prunable
+        assert make_metric("iou").prunable
+        assert not make_metric("xor").prunable
+
+    def test_case_insensitive(self):
+        assert make_metric("IOS").name == "ios"
+
+    def test_unknown_metric_raises(self):
+        with pytest.raises(ValueError, match="unknown closeness metric"):
+            make_metric("cosine")
+
+    def test_evaluation_counter(self):
+        metric = make_metric("ios")
+        a, b = make_profile({"A": [1]}), make_profile({"A": [1]})
+        metric(a, b)
+        metric(a, b)
+        assert metric.evaluations == 2
+        metric.reset_counter()
+        assert metric.evaluations == 0
+
+    def test_fresh_gets_independent_counter(self):
+        metric = make_metric("iou")
+        a = make_profile({"A": [1]})
+        metric(a, a)
+        clone = metric.fresh()
+        assert clone.evaluations == 0
+        assert clone.name == "iou"
+
+
+sets = st.sets(st.integers(0, 40), min_size=0, max_size=20)
+
+
+@given(a=sets, b=sets)
+def test_prop_metrics_symmetric(a, b):
+    pa = make_profile({"A": a}, capacity=64)
+    pb = make_profile({"A": b}, capacity=64)
+    for name in METRIC_NAMES:
+        metric = make_metric(name)
+        assert metric(pa, pb) == pytest.approx(metric(pb, pa))
+
+
+@given(a=sets, b=sets)
+def test_prop_prunable_metrics_zero_iff_disjoint(a, b):
+    pa = make_profile({"A": a}, capacity=64)
+    pb = make_profile({"A": b}, capacity=64)
+    disjoint = not (a & b)
+    for name in ("intersect", "ios", "iou"):
+        value = make_metric(name)(pa, pb)
+        assert (value == 0.0) == disjoint
+        assert value >= 0.0

@@ -1,0 +1,168 @@
+"""Tests for continuous (periodic) reconfiguration under drift."""
+
+import pytest
+
+from repro.core.binpacking import BinPackingAllocator
+from repro.core.cram import CramAllocator
+from repro.core.croc import Croc
+from repro.experiments.continuous import ContinuousReconfigurator, RateDrift
+from repro.experiments.runner import ExperimentRunner
+from repro.workloads.scenarios import cluster_homogeneous
+
+
+def deployed_network(seed=17, bandwidth=25.0):
+    scenario = cluster_homogeneous(
+        subscriptions_per_publisher=12,
+        scale=0.15,
+        broker_bandwidth_kbps=bandwidth,
+        profile_capacity=96,
+    )
+    runner = ExperimentRunner(scenario, seed=seed)
+    network = runner._build_network()
+    runner._deploy_manual(network)
+    return scenario, network
+
+
+class TestContinuousLoop:
+    def test_reports_one_per_cycle(self):
+        scenario, network = deployed_network()
+        croc = Croc(allocator_factory=BinPackingAllocator)
+        loop = ContinuousReconfigurator(
+            croc,
+            profiling_time=scenario.derived_profiling_time(),
+            measurement_time=10.0,
+        )
+        reports = loop.run(network, cycles=2)
+        assert [report.cycle for report in reports] == [0, 1]
+        assert all(report.reconfigured for report in reports)
+        assert reports[0].virtual_time < reports[1].virtual_time
+
+    def test_stable_workload_keeps_small_footprint(self):
+        scenario, network = deployed_network()
+        croc = Croc(allocator_factory=lambda: CramAllocator(metric="ios"))
+        loop = ContinuousReconfigurator(
+            croc,
+            profiling_time=scenario.derived_profiling_time(),
+            measurement_time=10.0,
+        )
+        reports = loop.run(network, cycles=2)
+        assert all(
+            report.allocated_brokers < scenario.broker_count for report in reports
+        )
+
+    def test_footprint_grows_with_rate_burst(self):
+        scenario, network = deployed_network()
+        croc = Croc(allocator_factory=lambda: CramAllocator(metric="ios"))
+        drift = RateDrift(network, factors=(1.0, 3.0))
+        loop = ContinuousReconfigurator(
+            croc,
+            profiling_time=scenario.derived_profiling_time(),
+            measurement_time=10.0,
+            on_cycle_start=drift,
+        )
+        reports = loop.run(network, cycles=2)
+        quiet, burst = reports
+        assert burst.reconfigured
+        assert burst.allocated_brokers > quiet.allocated_brokers
+
+    def test_footprint_shrinks_back_after_burst(self):
+        scenario, network = deployed_network()
+        croc = Croc(allocator_factory=lambda: CramAllocator(metric="ios"))
+        drift = RateDrift(network, factors=(3.0, 0.5))
+        loop = ContinuousReconfigurator(
+            croc,
+            profiling_time=scenario.derived_profiling_time(),
+            measurement_time=10.0,
+            on_cycle_start=drift,
+        )
+        reports = loop.run(network, cycles=2)
+        assert reports[1].allocated_brokers < reports[0].allocated_brokers
+
+    def test_deliveries_flow_every_cycle(self):
+        scenario, network = deployed_network()
+        croc = Croc(allocator_factory=BinPackingAllocator)
+        loop = ContinuousReconfigurator(
+            croc,
+            profiling_time=scenario.derived_profiling_time(),
+            measurement_time=15.0,
+            on_cycle_start=RateDrift(network, factors=(1.0, 2.0, 0.5)),
+        )
+        reports = loop.run(network, cycles=3)
+        assert all(report.summary.delivery_count > 0 for report in reports)
+
+    def test_as_row_serializes(self):
+        scenario, network = deployed_network()
+        croc = Croc(allocator_factory=BinPackingAllocator)
+        loop = ContinuousReconfigurator(
+            croc,
+            profiling_time=scenario.derived_profiling_time(),
+            measurement_time=5.0,
+        )
+        (report,) = loop.run(network, cycles=1)
+        row = report.as_row()
+        assert row["cycle"] == 0
+        assert row["reconfigured"] is True
+
+
+class TestStandbyPool:
+    def test_standby_brokers_return_to_pool(self):
+        """Deallocated brokers remain allocatable in later cycles."""
+        scenario, network = deployed_network()
+        croc = Croc(allocator_factory=lambda: CramAllocator(metric="ios"))
+        network.run(scenario.derived_profiling_time())
+        croc.reconfigure(network)
+        assert len(network.active_brokers) < scenario.broker_count
+        network.run(10.0)
+        gathered = croc.gather(network)
+        assert len(gathered.broker_pool) == scenario.broker_count
+
+    def test_standby_can_be_excluded(self):
+        scenario, network = deployed_network()
+        croc = Croc(allocator_factory=lambda: CramAllocator(metric="ios"))
+        network.run(scenario.derived_profiling_time())
+        croc.reconfigure(network)
+        network.run(10.0)
+        gathered = croc.gather(network, include_standby=False)
+        assert len(gathered.broker_pool) == len(network.active_brokers)
+
+
+class TestRateDrift:
+    def test_scales_from_base_rates(self):
+        _scenario, network = deployed_network()
+        base = {cid: p.rate for cid, p in network.publishers.items()}
+        drift = RateDrift(network, factors=(2.0, 0.5))
+        drift(0)
+        assert all(
+            network.publishers[cid].rate == pytest.approx(2.0 * rate)
+            for cid, rate in base.items()
+        )
+        drift(1)
+        assert all(
+            network.publishers[cid].rate == pytest.approx(0.5 * rate)
+            for cid, rate in base.items()
+        )
+
+    def test_factors_cycle(self):
+        _scenario, network = deployed_network()
+        base = {cid: p.rate for cid, p in network.publishers.items()}
+        drift = RateDrift(network, factors=(1.5,))
+        drift(0)
+        drift(7)
+        assert all(
+            network.publishers[cid].rate == pytest.approx(1.5 * rate)
+            for cid, rate in base.items()
+        )
+
+
+class TestControlPlanePriority:
+    def test_gather_survives_saturated_data_plane(self):
+        """BIR/BIA succeed even when publication queues are overloaded."""
+        scenario, network = deployed_network(bandwidth=25.0)
+        croc = Croc(allocator_factory=BinPackingAllocator)
+        network.run(scenario.derived_profiling_time())
+        croc.reconfigure(network)
+        for publisher in network.publishers.values():
+            publisher.rate *= 4.0  # saturate the consolidated brokers
+        network.run(60.0)
+        gathered = croc.gather(network)  # must not time out
+        assert gathered.subscription_count == scenario.total_subscriptions

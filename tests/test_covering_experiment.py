@@ -1,0 +1,44 @@
+"""Covering measured through the full experiment pipeline."""
+
+import pytest
+
+from repro.experiments.runner import ExperimentRunner
+from repro.workloads.scenarios import cluster_homogeneous
+
+
+class TestCoveringAtExperimentScale:
+    @pytest.fixture(scope="class")
+    def pair(self):
+        """The same scenario/seed with and without covering."""
+        results = {}
+        for covering in (False, True):
+            scenario = cluster_homogeneous(
+                subscriptions_per_publisher=10,
+                scale=0.1,
+                measurement_time=20.0,
+                enable_covering=covering,
+            )
+            runner = ExperimentRunner(scenario, seed=1)
+            results[covering] = (runner.run("manual"), runner.network)
+        return results
+
+    def test_identical_deliveries(self, pair):
+        """Covering is purely a routing-state optimization: every
+        subscriber receives exactly the same messages."""
+        plain, _net_plain = pair[False]
+        covered, _net_covered = pair[True]
+        assert covered.summary.delivery_count == plain.summary.delivery_count
+
+    def test_smaller_routing_tables(self, pair):
+        _plain, net_plain = pair[False]
+        _covered, net_covered = pair[True]
+        plain_entries = sum(b.srt_size for b in net_plain.brokers.values())
+        covered_entries = sum(b.srt_size for b in net_covered.brokers.values())
+        assert covered_entries < plain_entries
+
+    def test_per_subscriber_counts_match(self, pair):
+        _plain, net_plain = pair[False]
+        _covered, net_covered = pair[True]
+        for client_id, subscriber in net_plain.subscribers.items():
+            twin = net_covered.subscribers[client_id]
+            assert twin.delivered == subscriber.delivered, client_id

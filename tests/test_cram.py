@@ -1,0 +1,261 @@
+"""Tests for the CRAM allocator (paper §IV-C)."""
+
+import pytest
+
+from repro.core.binpacking import BinPackingAllocator
+from repro.core.closeness import make_metric
+from repro.core.cram import CramAllocator
+
+from conftest import make_directory, make_pool, make_spec, make_unit
+
+
+@pytest.fixture
+def directory():
+    return make_directory([f"P{i}" for i in range(6)], rate=10.0, bandwidth=10.0)
+
+
+def symbol_units(directory, per_symbol, symbols=4, bits=32):
+    """per_symbol identical units for each of `symbols` publishers."""
+    advs = list(directory)[:symbols]
+    units = []
+    for adv in advs:
+        for _ in range(per_symbol):
+            units.append(make_unit({adv: range(bits)}, directory))
+    return units
+
+
+class TestBasicBehaviour:
+    def test_returns_binpacking_result_when_nothing_clusters(self, directory):
+        """All-disjoint singleton profiles: no non-zero closeness pair."""
+        units = [make_unit({list(directory)[i]: [i]}, directory) for i in range(4)]
+        cram = CramAllocator(metric="ios")
+        result = cram.allocate(units, make_pool(4, bandwidth=100.0), directory)
+        baseline = BinPackingAllocator().allocate(
+            units, make_pool(4, bandwidth=100.0), directory
+        )
+        assert result.success
+        assert result.broker_count == baseline.broker_count
+        assert cram.last_stats.merges == 0
+
+    def test_fails_when_binpacking_fails(self, directory):
+        units = symbol_units(directory, per_symbol=3, symbols=1)  # 15 kB/s
+        result = CramAllocator().allocate(units, [make_spec("b", 4.0)], directory)
+        assert not result.success
+
+    def test_clusters_identical_subscriptions(self, directory):
+        units = symbol_units(directory, per_symbol=4, symbols=2)
+        cram = CramAllocator(metric="ios")
+        result = cram.allocate(units, make_pool(8, bandwidth=100.0), directory)
+        assert result.success
+        assert cram.last_stats.merges > 0
+        assert cram.last_stats.final_units < cram.last_stats.initial_units
+
+    def test_allocation_preserves_every_subscription(self, directory):
+        units = symbol_units(directory, per_symbol=5, symbols=3)
+        cram = CramAllocator(metric="ios")
+        result = cram.allocate(units, make_pool(8, bandwidth=100.0), directory)
+        placement = result.subscription_placement()
+        expected = {record.sub_id for unit in units for record in unit.members}
+        assert set(placement) == expected
+
+    def test_gif_grouping_reduces_pool(self, directory):
+        units = symbol_units(directory, per_symbol=10, symbols=3)
+        cram = CramAllocator(metric="ios")
+        cram.allocate(units, make_pool(8, bandwidth=1000.0), directory)
+        stats = cram.last_stats
+        assert stats.initial_units == 30
+        assert stats.initial_gifs == 3
+        assert stats.gif_reduction == pytest.approx(0.9)
+
+    def test_respects_capacity_while_clustering(self, directory):
+        """Clusters never violate the feasibility test."""
+        units = symbol_units(directory, per_symbol=6, symbols=2, bits=32)
+        pool = make_pool(8, bandwidth=20.0)  # 4 units of 5 kB/s per broker
+        cram = CramAllocator(metric="ios")
+        result = cram.allocate(units, pool, directory)
+        assert result.success
+        for bin_ in result.bins:
+            assert bin_.used_bandwidth <= bin_.spec.total_output_bandwidth + 1e-9
+
+    def test_uses_fewer_or_equal_brokers_than_binpacking(self, directory):
+        """Clustering concentrates input unions, never worsens packing."""
+        advs = list(directory)
+        units = []
+        for adv in advs[:4]:
+            units.append(make_unit({adv: range(48)}, directory))
+            units.append(make_unit({adv: range(24)}, directory))
+            units.append(make_unit({adv: range(12)}, directory))
+        pool = make_pool(10, bandwidth=25.0)
+        bp = BinPackingAllocator().allocate(units, pool, directory)
+        cram_result = CramAllocator(metric="ios").allocate(units, pool, directory)
+        assert cram_result.success
+        assert cram_result.broker_count <= bp.broker_count
+
+
+class TestMetricVariants:
+    @pytest.mark.parametrize("metric", ["intersect", "ios", "iou", "xor"])
+    def test_all_metrics_produce_valid_allocations(self, metric, directory):
+        units = symbol_units(directory, per_symbol=4, symbols=3)
+        cram = CramAllocator(metric=metric, failure_budget=50)
+        result = cram.allocate(units, make_pool(8, bandwidth=60.0), directory)
+        assert result.success
+        placement = result.subscription_placement()
+        assert len(placement) == len(units)
+
+    def test_name_includes_metric(self):
+        assert CramAllocator(metric="iou").name == "cram-iou"
+
+    def test_accepts_metric_instance(self):
+        cram = CramAllocator(metric=make_metric("intersect"))
+        assert cram.name == "cram-intersect"
+
+    def test_xor_clusters_disjoint_profiles(self, directory):
+        """The Gryphon XOR flaw: disjoint subscriptions do get merged."""
+        units = [
+            make_unit({"P0": [1]}, directory),
+            make_unit({"P1": [40]}, directory),
+        ]
+        cram = CramAllocator(metric="xor", failure_budget=10)
+        cram.allocate(units, make_pool(4, bandwidth=100.0), directory)
+        assert cram.last_stats.merges >= 1
+
+    def test_prunable_metric_ignores_disjoint_pairs(self, directory):
+        units = [
+            make_unit({"P0": [1]}, directory),
+            make_unit({"P1": [40]}, directory),
+        ]
+        cram = CramAllocator(metric="ios")
+        cram.allocate(units, make_pool(4, bandwidth=100.0), directory)
+        assert cram.last_stats.merges == 0
+
+
+class TestSelfPairClustering:
+    def test_equal_relationship_binary_search(self, directory):
+        """A GIF pairs with itself and merges the largest allocatable run.
+
+        8 identical units of 5 kB/s against 12 kB/s brokers: at most 2
+        units (10 kB/s) fit per broker, so within-GIF clusters of 2 form.
+        """
+        units = symbol_units(directory, per_symbol=8, symbols=1)
+        pool = make_pool(8, bandwidth=12.0)
+        cram = CramAllocator(metric="ios")
+        result = cram.allocate(units, pool, directory)
+        assert result.success
+        stats = cram.last_stats
+        assert stats.merges >= 1
+        sizes = sorted(
+            unit.subscription_count for bin_ in result.bins for unit in bin_.units
+        )
+        assert max(sizes) == 2
+
+    def test_self_pair_merges_everything_when_capacity_allows(self, directory):
+        units = symbol_units(directory, per_symbol=6, symbols=1)
+        cram = CramAllocator(metric="ios")
+        result = cram.allocate(units, make_pool(4, bandwidth=1000.0), directory)
+        assert result.success
+        assert cram.last_stats.final_units == 1
+
+
+class TestCoveringClustering:
+    def test_superset_absorbs_covered_units(self, directory):
+        """A covering GIF clusters with covered GIF units (binary search)."""
+        units = [make_unit({"P0": range(32)}, directory)]  # superset
+        units += [make_unit({"P0": range(16)}, directory) for _ in range(3)]
+        cram = CramAllocator(metric="ios")
+        result = cram.allocate(units, make_pool(4, bandwidth=1000.0), directory)
+        assert result.success
+        assert cram.last_stats.merges >= 1
+        assert cram.last_stats.final_units < 4
+
+    def test_blacklists_unallocatable_pairs(self, directory):
+        """A pair whose merge never fits is tried once, then skipped."""
+        units = [
+            make_unit({"P0": range(32)}, directory),  # 5 kB/s each
+            make_unit({"P0": range(16, 48)}, directory),
+        ]
+        # Two brokers of 5 kB/s: each unit fits alone; the 10 kB/s merge
+        # fits nowhere.
+        pool = [make_spec("b1", 5.0), make_spec("b2", 5.0)]
+        cram = CramAllocator(metric="ios")
+        result = cram.allocate(units, pool, directory)
+        assert result.success
+        assert result.broker_count == 2
+        assert cram.last_stats.failures >= 1
+        assert cram.last_stats.merges == 0
+
+
+class TestAblationKnobs:
+    def test_gif_grouping_disabled(self, directory):
+        units = symbol_units(directory, per_symbol=5, symbols=2)
+        cram = CramAllocator(metric="ios", enable_gif_grouping=False)
+        result = cram.allocate(units, make_pool(8, bandwidth=100.0), directory)
+        assert result.success
+        assert cram.last_stats.initial_gifs == cram.last_stats.initial_units
+
+    def test_pruning_disabled_still_correct(self, directory):
+        units = symbol_units(directory, per_symbol=3, symbols=3)
+        pool = make_pool(8, bandwidth=100.0)
+        pruned = CramAllocator(metric="ios", enable_pruning=True)
+        scan = CramAllocator(metric="ios", enable_pruning=False)
+        result_pruned = pruned.allocate(units, pool, directory)
+        result_scan = scan.allocate(units, pool, directory)
+        assert result_pruned.broker_count == result_scan.broker_count
+
+    def test_pruning_saves_evaluations(self, directory):
+        """Search pruning needs fewer closeness computations (§IV-C.2)."""
+        advs = list(directory)
+        units = []
+        for i, adv in enumerate(advs):
+            for width in (32, 16, 8):
+                units.append(make_unit({adv: range(width)}, directory))
+        pool = make_pool(10, bandwidth=1000.0)
+        pruned = CramAllocator(metric="ios", enable_pruning=True)
+        scan = CramAllocator(metric="ios", enable_pruning=False)
+        pruned.allocate(units, pool, directory)
+        scan.allocate(units, pool, directory)
+        assert (
+            pruned.last_stats.initial_search_evaluations
+            < scan.last_stats.initial_search_evaluations
+        )
+
+    def test_one_to_many_toggle(self, directory):
+        units = []
+        # Parent GIF intersecting another, with covered children (Fig. 3).
+        units.append(make_unit({"P0": range(0, 36)}, directory))
+        units.append(make_unit({"P0": range(28, 44)}, directory))
+        units.append(make_unit({"P0": range(0, 4)}, directory))
+        units.append(make_unit({"P0": range(8, 12)}, directory))
+        pool = make_pool(6, bandwidth=1000.0)
+        with_o3 = CramAllocator(metric="ios", enable_one_to_many=True)
+        without_o3 = CramAllocator(metric="ios", enable_one_to_many=False)
+        r1 = with_o3.allocate(units, pool, directory)
+        r2 = without_o3.allocate(units, pool, directory)
+        assert r1.success and r2.success
+
+    def test_failure_budget_caps_wasted_attempts(self, directory):
+        units = [make_unit({list(directory)[i % 6]: [i]}, directory) for i in range(8)]
+        cram = CramAllocator(metric="xor", failure_budget=3)
+        cram.allocate(units, [make_spec("b", 2.0), make_spec("c", 2.0)], directory)
+        assert cram.last_stats.failures <= 3
+
+    def test_max_iterations(self, directory):
+        units = symbol_units(directory, per_symbol=6, symbols=2)
+        cram = CramAllocator(metric="ios", max_iterations=1)
+        cram.allocate(units, make_pool(8, bandwidth=1000.0), directory)
+        assert cram.last_stats.iterations <= 1
+
+
+class TestStats:
+    def test_stats_are_reset_per_run(self, directory):
+        units = symbol_units(directory, per_symbol=3, symbols=2)
+        cram = CramAllocator(metric="ios")
+        cram.allocate(units, make_pool(8, bandwidth=100.0), directory)
+        first = cram.last_stats
+        cram.allocate(units, make_pool(8, bandwidth=100.0), directory)
+        assert cram.last_stats is not first
+
+    def test_binpack_run_counter(self, directory):
+        units = symbol_units(directory, per_symbol=3, symbols=1)
+        cram = CramAllocator(metric="ios")
+        cram.allocate(units, make_pool(4, bandwidth=100.0), directory)
+        assert cram.last_stats.binpack_runs >= 1

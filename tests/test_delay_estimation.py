@@ -1,0 +1,99 @@
+"""Tests for matching-delay measurement (the BIA's delay function)."""
+
+import pytest
+
+from repro.core.capacity import MatchingDelayFunction
+from repro.pubsub.delay_estimation import (
+    DelayModelEstimator,
+    MIN_DISTINCT_SIZES,
+    MIN_SAMPLES,
+)
+
+from test_broker_routing import make_network, make_publisher, make_subscriber
+
+
+class TestEstimator:
+    def test_no_fit_before_min_samples(self):
+        estimator = DelayModelEstimator()
+        for index in range(MIN_SAMPLES - 1):
+            estimator.record(index, 0.001 + index * 1e-5)
+        assert estimator.fit() is None
+
+    def test_no_fit_from_single_table_size(self):
+        estimator = DelayModelEstimator()
+        for _ in range(MIN_SAMPLES * 2):
+            estimator.record(10, 0.002)
+        assert estimator.fit() is None
+
+    def test_recovers_exact_linear_model(self):
+        truth = MatchingDelayFunction(base=0.0005, per_subscription=2e-6)
+        estimator = DelayModelEstimator()
+        for size in range(0, 200, 5):
+            estimator.record(size, truth.delay(size))
+        fitted = estimator.fit()
+        assert fitted is not None
+        assert fitted.base == pytest.approx(truth.base, rel=1e-6)
+        assert fitted.per_subscription == pytest.approx(
+            truth.per_subscription, rel=1e-6
+        )
+
+    def test_negative_coefficients_clamped(self):
+        estimator = DelayModelEstimator()
+        # Decreasing samples would fit a negative slope.
+        for size in range(0, 100, 2):
+            estimator.record(size, max(0.0, 0.01 - size * 1e-4))
+        fitted = estimator.fit()
+        assert fitted is not None
+        assert fitted.per_subscription >= 0.0
+        assert fitted.base >= 0.0
+
+    def test_sliding_window_forgets_old_regime(self):
+        estimator = DelayModelEstimator(window=64)
+        for size in range(0, 64):
+            estimator.record(size, 1.0)  # ancient, slow regime
+        for size in range(0, 64):
+            estimator.record(size, 0.001 + size * 1e-6)  # current regime
+        fitted = estimator.fit()
+        assert fitted is not None
+        assert fitted.base < 0.01
+
+    def test_rejects_negative_service_time(self):
+        with pytest.raises(ValueError):
+            DelayModelEstimator().record(1, -0.1)
+
+    def test_reset(self):
+        estimator = DelayModelEstimator()
+        estimator.record(1, 0.001)
+        estimator.reset()
+        assert estimator.sample_count == 0
+
+
+class TestBrokerIntegration:
+    def test_bia_carries_measured_delay(self):
+        from repro.core.binpacking import BinPackingAllocator
+        from repro.core.croc import Croc
+
+        network = make_network(2)
+        network.attach_subscriber(make_subscriber("s1"), "b1")
+        network.attach_publisher(make_publisher(rate=40.0), "b0")
+        network.run(3.0)
+        croc = Croc(allocator_factory=BinPackingAllocator)
+        gathered = croc.gather(network)
+        report = gathered.reports["b0"]
+        assert report.measured_delay is not None
+        spec_fn = network.brokers["b0"].spec.delay_function
+        # The measurement reproduces the broker's real (configured)
+        # service law within floating-point noise.
+        for size in (0, 10, 100):
+            assert report.measured_delay.delay(size) == pytest.approx(
+                spec_fn.delay(size), rel=0.05, abs=1e-5
+            )
+
+    def test_reset_clears_samples(self):
+        network = make_network(2)
+        network.attach_publisher(make_publisher(rate=40.0), "b0")
+        network.run(2.0)
+        broker = network.brokers["b0"]
+        assert broker.delay_estimator.sample_count > 0
+        broker.reset()
+        assert broker.delay_estimator.sample_count == 0

@@ -1,0 +1,100 @@
+"""Tests for BrokerTree and Deployment."""
+
+import pytest
+
+from repro.core.deployment import BrokerTree, Deployment
+
+from conftest import make_directory, make_unit
+
+
+def sample_tree():
+    tree = BrokerTree("root")
+    tree.add_broker("a", "root")
+    tree.add_broker("b", "root")
+    tree.add_broker("a1", "a")
+    return tree
+
+
+class TestBrokerTree:
+    def test_membership_and_len(self):
+        tree = sample_tree()
+        assert len(tree) == 4
+        assert "a1" in tree
+        assert "nope" not in tree
+
+    def test_parent_child_links(self):
+        tree = sample_tree()
+        assert tree.parent("a1") == "a"
+        assert tree.parent("root") is None
+        assert sorted(tree.children("root")) == ["a", "b"]
+        assert tree.children("b") == []
+
+    def test_add_duplicate_raises(self):
+        tree = sample_tree()
+        with pytest.raises(ValueError):
+            tree.add_broker("a", "root")
+
+    def test_add_under_unknown_parent_raises(self):
+        tree = sample_tree()
+        with pytest.raises(ValueError):
+            tree.add_broker("x", "ghost")
+
+    def test_depth_and_height(self):
+        tree = sample_tree()
+        assert tree.depth("root") == 0
+        assert tree.depth("a1") == 2
+        assert tree.height() == 2
+
+    def test_leaves(self):
+        assert sorted(sample_tree().leaves()) == ["a1", "b"]
+
+    def test_path_to_root(self):
+        assert sample_tree().path_to_root("a1") == ["a1", "a", "root"]
+
+    def test_edges(self):
+        edges = set(sample_tree().edges())
+        assert edges == {("root", "a"), ("root", "b"), ("a", "a1")}
+
+    def test_set_units_unknown_broker_raises(self, directory):
+        tree = sample_tree()
+        with pytest.raises(ValueError):
+            tree.set_units("ghost", [])
+
+    def test_subscription_placement_from_units(self, directory):
+        tree = sample_tree()
+        unit = make_unit({"A": [1]}, directory, sub_id="s1")
+        tree.set_units("a1", [unit])
+        assert tree.subscription_placement() == {"s1": "a1"}
+
+    def test_validate_passes_for_wellformed(self):
+        sample_tree().validate()
+
+
+class TestDeployment:
+    def test_validate_accepts_consistent_placement(self, directory):
+        tree = sample_tree()
+        deployment = Deployment(
+            tree=tree,
+            subscription_placement={"s1": "a"},
+            publisher_placement={"A": "root"},
+        )
+        deployment.validate()
+
+    def test_validate_rejects_placement_outside_tree(self):
+        deployment = Deployment(
+            tree=sample_tree(),
+            subscription_placement={"s1": "ghost"},
+        )
+        with pytest.raises(AssertionError):
+            deployment.validate()
+
+    def test_validate_rejects_publisher_outside_tree(self):
+        deployment = Deployment(
+            tree=sample_tree(),
+            publisher_placement={"A": "ghost"},
+        )
+        with pytest.raises(AssertionError):
+            deployment.validate()
+
+    def test_active_broker_count(self):
+        assert Deployment(tree=sample_tree()).active_broker_count == 4

@@ -1,0 +1,24 @@
+"""Execute the library's docstring examples."""
+
+import doctest
+
+import pytest
+
+import repro.core.bitvector
+import repro.core.profiles
+import repro.pubsub.predicate
+import repro.sim.engine
+
+MODULES = (
+    repro.core.bitvector,
+    repro.core.profiles,
+    repro.pubsub.predicate,
+    repro.sim.engine,
+)
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.failed == 0
+    assert result.attempted > 0, f"{module.__name__} has no doctests to run"

@@ -1,0 +1,171 @@
+"""Tests for publication/subscription/advertisement matching."""
+
+import pytest
+
+from repro.pubsub.matching import (
+    MatchingIndex,
+    matches,
+    overlaps,
+    subscription_covers,
+)
+from repro.pubsub.message import Advertisement, Publication, Subscription
+from repro.pubsub.predicate import parse_predicates
+
+
+def sub(sub_id, *triples):
+    return Subscription(sub_id=sub_id, subscriber_id=sub_id,
+                        predicates=parse_predicates(triples))
+
+
+def adv(adv_id, *triples):
+    return Advertisement(adv_id=adv_id, publisher_id=f"p-{adv_id}",
+                         predicates=parse_predicates(triples))
+
+
+def pub(**attrs):
+    return Publication(adv_id="A", message_id=1, attributes=attrs,
+                       publish_time=0.0, size_kb=0.5)
+
+
+YHOO_PUB = dict(
+    attrs={"class": "STOCK", "symbol": "YHOO", "low": 18.37, "volume": 6200}
+)
+
+
+class TestMatches:
+    def test_full_conjunction(self):
+        subscription = sub("s", ("class", "=", "STOCK"), ("symbol", "=", "YHOO"))
+        assert matches(subscription, pub(**YHOO_PUB["attrs"]))
+
+    def test_one_failed_predicate_rejects(self):
+        subscription = sub("s", ("symbol", "=", "MSFT"))
+        assert not matches(subscription, pub(**YHOO_PUB["attrs"]))
+
+    def test_missing_attribute_rejects(self):
+        subscription = sub("s", ("nonexistent", "=", 1))
+        assert not matches(subscription, pub(**YHOO_PUB["attrs"]))
+
+    def test_inequality_predicate(self):
+        low = sub("s", ("symbol", "=", "YHOO"), ("low", "<", 20.0))
+        high = sub("s", ("symbol", "=", "YHOO"), ("low", ">", 20.0))
+        publication = pub(**YHOO_PUB["attrs"])
+        assert matches(low, publication)
+        assert not matches(high, publication)
+
+    def test_empty_subscription_matches_everything(self):
+        assert matches(sub("s"), pub(**YHOO_PUB["attrs"]))
+
+
+class TestOverlaps:
+    def test_matching_symbol(self):
+        subscription = sub("s", ("class", "=", "STOCK"), ("symbol", "=", "YHOO"))
+        advertisement = adv("a", ("class", "=", "STOCK"), ("symbol", "=", "YHOO"),
+                            ("low", ">=", 0.0))
+        assert overlaps(subscription, advertisement)
+
+    def test_wrong_symbol(self):
+        subscription = sub("s", ("symbol", "=", "MSFT"))
+        advertisement = adv("a", ("symbol", "=", "YHOO"))
+        assert not overlaps(subscription, advertisement)
+
+    def test_unadvertised_attribute_rejects(self):
+        subscription = sub("s", ("volume", ">", 100.0))
+        advertisement = adv("a", ("symbol", "=", "YHOO"))
+        assert not overlaps(subscription, advertisement)
+
+    def test_range_constraint_must_be_satisfiable(self):
+        subscription = sub("s", ("low", "<", 0.0))
+        advertisement = adv("a", ("low", ">=", 0.0))
+        assert not overlaps(subscription, advertisement)
+
+    def test_satisfiable_range(self):
+        subscription = sub("s", ("low", "<", 50.0))
+        advertisement = adv("a", ("low", ">=", 0.0))
+        assert overlaps(subscription, advertisement)
+
+
+class TestSubscriptionCovers:
+    def test_fewer_predicates_cover_more(self):
+        general = sub("g", ("symbol", "=", "YHOO"))
+        specific = sub("s", ("symbol", "=", "YHOO"), ("low", "<", 20.0))
+        assert subscription_covers(general, specific)
+        assert not subscription_covers(specific, general)
+
+    def test_wider_threshold_covers(self):
+        general = sub("g", ("symbol", "=", "YHOO"), ("low", "<", 30.0))
+        specific = sub("s", ("symbol", "=", "YHOO"), ("low", "<", 20.0))
+        assert subscription_covers(general, specific)
+
+    def test_disjoint_symbols_do_not_cover(self):
+        a = sub("a", ("symbol", "=", "YHOO"))
+        b = sub("b", ("symbol", "=", "MSFT"))
+        assert not subscription_covers(a, b)
+
+
+class TestMatchingIndex:
+    def test_indexes_by_equality_predicate(self):
+        index = MatchingIndex()
+        index.add(sub("s1", ("class", "=", "STOCK"), ("symbol", "=", "YHOO")), "dest1")
+        index.add(sub("s2", ("class", "=", "STOCK"), ("symbol", "=", "MSFT")), "dest2")
+        payloads = index.matching_payloads(pub(**YHOO_PUB["attrs"]))
+        assert payloads == ["dest1"]
+
+    def test_prefers_selective_attribute_over_class(self):
+        index = MatchingIndex()
+        index.add(sub("s1", ("class", "=", "STOCK"), ("symbol", "=", "YHOO")), "d")
+        # The bucket key should be the symbol, not the shared class.
+        assert ("symbol", "YHOO") in index._buckets
+
+    def test_fallback_for_subscriptions_without_equality(self):
+        index = MatchingIndex()
+        index.add(sub("s1", ("low", "<", 20.0)), "d")
+        assert index.matching_payloads(pub(**YHOO_PUB["attrs"])) == ["d"]
+
+    def test_deduplicates_payloads(self):
+        index = MatchingIndex()
+        index.add(sub("s1", ("symbol", "=", "YHOO")), "same-broker")
+        index.add(sub("s2", ("symbol", "=", "YHOO")), "same-broker")
+        assert index.matching_payloads(pub(**YHOO_PUB["attrs"])) == ["same-broker"]
+
+    def test_matching_entries_keeps_every_subscription(self):
+        index = MatchingIndex()
+        index.add(sub("s1", ("symbol", "=", "YHOO")), "b")
+        index.add(sub("s2", ("symbol", "=", "YHOO")), "b")
+        entries = index.matching_entries(pub(**YHOO_PUB["attrs"]))
+        assert {s.sub_id for s, _d in entries} == {"s1", "s2"}
+
+    def test_duplicate_add_ignored(self):
+        index = MatchingIndex()
+        subscription = sub("s1", ("symbol", "=", "YHOO"))
+        index.add(subscription, "d")
+        index.add(subscription, "d")
+        assert len(index) == 1
+
+    def test_same_subscription_two_destinations(self):
+        index = MatchingIndex()
+        subscription = sub("s1", ("symbol", "=", "YHOO"))
+        index.add(subscription, "d1")
+        index.add(subscription, "d2")
+        assert len(index) == 2
+        assert set(index.matching_payloads(pub(**YHOO_PUB["attrs"]))) == {"d1", "d2"}
+
+    def test_remove_subscription(self):
+        index = MatchingIndex()
+        index.add(sub("s1", ("symbol", "=", "YHOO")), "d1")
+        index.add(sub("s2", ("low", "<", 99.0)), "d2")
+        index.remove_subscription("s1")
+        index.remove_subscription("s2")
+        assert len(index) == 0
+        assert index.matching_payloads(pub(**YHOO_PUB["attrs"])) == []
+
+    def test_len_counts_entries(self):
+        index = MatchingIndex()
+        index.add(sub("s1", ("symbol", "=", "YHOO")), "d")
+        index.add(sub("s2", ("low", "<", 20.0)), "d")
+        assert len(index) == 2
+
+    def test_entries_iterates_everything(self):
+        index = MatchingIndex()
+        index.add(sub("s1", ("symbol", "=", "YHOO")), "d")
+        index.add(sub("s2", ("low", "<", 20.0)), "d")
+        assert {s.sub_id for s, _d in index.entries()} == {"s1", "s2"}

@@ -1,0 +1,110 @@
+"""Final coverage batch: RNG distributions, visualization of internal
+brokers, simulator event lifecycle, and report formatting corners."""
+
+import pytest
+
+from repro.core.deployment import BrokerTree
+from repro.core.units import AllocationUnit
+from repro.experiments.report import format_rows
+from repro.experiments.visualize import render_tree
+from repro.sim.engine import Simulator
+from repro.sim.rng import SeededRng
+
+from conftest import make_directory, make_unit
+
+
+class TestRngDistributions:
+    def test_gauss_mean(self):
+        rng = SeededRng(0, "gauss")
+        samples = [rng.gauss(5.0, 1.0) for _ in range(2000)]
+        assert abs(sum(samples) / len(samples) - 5.0) < 0.1
+
+    def test_lognormal_positive(self):
+        rng = SeededRng(0, "lognorm")
+        assert all(rng.lognormal(0.0, 0.5) > 0 for _ in range(100))
+
+    def test_expovariate_positive(self):
+        rng = SeededRng(0, "expo")
+        samples = [rng.expovariate(2.0) for _ in range(2000)]
+        assert all(sample >= 0 for sample in samples)
+        assert abs(sum(samples) / len(samples) - 0.5) < 0.05
+
+    def test_uniform_bounds(self):
+        rng = SeededRng(0, "uniform")
+        for _ in range(200):
+            value = rng.uniform(3.0, 7.0)
+            assert 3.0 <= value <= 7.0
+
+    def test_randint_inclusive(self):
+        rng = SeededRng(0, "randint")
+        values = {rng.randint(1, 3) for _ in range(200)}
+        assert values == {1, 2, 3}
+
+
+class TestSimulatorLifecycle:
+    def test_cancel_after_fire_is_noop(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, lambda: fired.append(1))
+        sim.run()
+        event.cancel()  # already fired; must not raise
+        assert fired == [1]
+
+    def test_pending_counts_cancelled_events(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        event.cancel()
+        assert sim.pending == 1
+        sim.run()
+        assert sim.pending == 0
+
+    def test_drain_empties_queue(self):
+        sim = Simulator()
+        for delay in (3.0, 1.0, 2.0):
+            sim.schedule(delay, lambda: None)
+        sim.drain()
+        assert sim.pending == 0
+        assert sim.events_processed == 3
+
+    def test_start_time(self):
+        sim = Simulator(start_time=100.0)
+        assert sim.now == 100.0
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        assert sim.now == 105.0
+
+
+class TestVisualizeInternals:
+    def test_pseudo_units_not_counted_as_subscriptions(self):
+        directory = make_directory(["A"])
+        tree = BrokerTree("root")
+        tree.add_broker("leaf", "root")
+        real = make_unit({"A": range(32)}, directory)
+        tree.set_units("leaf", [real])
+        pseudo = AllocationUnit.for_child_broker("leaf", [real], directory)
+        tree.set_units("root", [pseudo])
+        text = render_tree(tree, directory)
+        lines = text.splitlines()
+        # The root holds only a stream pseudo-unit: no "subs" annotation.
+        assert "subs" not in lines[0]
+        assert "1 subs" in lines[1]
+
+
+class TestReportFormattingCorners:
+    def test_mixed_types_align(self):
+        rows = [
+            {"name": "a", "value": 1.23456789, "flag": True},
+            {"name": "much-longer-name", "value": 2, "flag": False},
+        ]
+        text = format_rows(rows)
+        lines = text.splitlines()
+        assert len({line.index("|") for line in lines if "|" in line}) == 1
+
+    def test_missing_column_renders_empty(self):
+        rows = [{"a": 1}, {"a": 2, "b": 3}]
+        text = format_rows(rows, columns=["a", "b"])
+        assert "3" in text
+
+    def test_float_formatting_compact(self):
+        text = format_rows([{"x": 0.000123456}])
+        assert "0.0001235" in text or "0.0001234" in text

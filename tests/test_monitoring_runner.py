@@ -1,0 +1,55 @@
+"""Tests for the monitoring-domain experiment pipeline."""
+
+import pytest
+
+from repro.experiments.monitoring_runner import (
+    MonitoringResult,
+    MonitoringScenario,
+    run_monitoring_experiment,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    scenario = MonitoringScenario(
+        brokers=10, hosts=8, subscriptions=60, measurement_time=20.0
+    )
+    return run_monitoring_experiment(scenario, seed=3)
+
+
+class TestMonitoringPipeline:
+    def test_consolidates(self, result):
+        assert result.allocated_brokers < result.pool_size
+        assert result.broker_reduction > 0.0
+
+    def test_message_rate_drops(self, result):
+        assert result.message_rate_reduction > 0.0
+
+    def test_traffic_flows_after_reconfiguration(self, result):
+        assert result.reconfigured.delivery_count > 0
+
+    def test_gif_reduction_happens_without_stock_templates(self, result):
+        """Identical dashboards/rollups collapse into GIFs here too."""
+        assert result.gif_reduction > 0.0
+
+    def test_as_row_shape(self, result):
+        row = result.as_row()
+        assert row["scenario"].startswith("monitoring-")
+        assert 0 <= row["broker_reduction_pct"] <= 100
+
+    def test_scenario_name_and_profiling_time(self):
+        scenario = MonitoringScenario(hosts=4, subscriptions=10,
+                                      profile_capacity=64, sample_rate=4.0)
+        assert scenario.name == "monitoring-4hx10s"
+        assert scenario.profiling_time() == pytest.approx(64 / 4.0 + 5.0)
+
+    def test_deterministic_per_seed(self):
+        scenario = MonitoringScenario(
+            brokers=8, hosts=4, subscriptions=24, measurement_time=10.0
+        )
+        a = run_monitoring_experiment(scenario, seed=11)
+        b = run_monitoring_experiment(scenario, seed=11)
+        assert a.allocated_brokers == b.allocated_brokers
+        assert a.reconfigured.total_broker_messages == (
+            b.reconfigured.total_broker_messages
+        )

@@ -1,0 +1,168 @@
+"""Tests for the monitoring workload (language independence)."""
+
+import pytest
+
+from repro.core.cram import CramAllocator
+from repro.core.profiles import PublisherProfile
+from repro.core.units import SubscriptionRecord, units_from_records
+from repro.pubsub.matching import matches, overlaps
+from repro.pubsub.message import Publication
+from repro.pubsub.predicate import Operator
+from repro.sim.rng import SeededRng
+from repro.workloads.monitoring import (
+    METRICS,
+    ROLES,
+    MetricFeed,
+    build_hosts,
+    metric_advertisement,
+    monitoring_subscriptions,
+)
+
+from conftest import make_pool
+
+
+class TestMetricFeed:
+    def test_schema(self):
+        feed = MetricFeed("web-001", "web", SeededRng(0))
+        sample = next(feed)
+        assert set(sample) == {
+            "class", "host", "role", "metric", "value", "severity", "seq",
+        }
+        assert sample["class"] == "METRIC"
+        assert sample["host"] == "web-001"
+
+    def test_values_stay_in_range(self):
+        feed = MetricFeed("db-002", "db", SeededRng(1))
+        for _ in range(300):
+            sample = next(feed)
+            low, high = METRICS[sample["metric"]]
+            assert low <= sample["value"] <= high
+
+    def test_sequence_numbers_increase(self):
+        feed = MetricFeed("web-001", "web", SeededRng(2))
+        seqs = [next(feed)["seq"] for _ in range(10)]
+        assert seqs == list(range(1, 11))
+
+    def test_severity_distribution_skewed_low(self):
+        feed = MetricFeed("web-001", "web", SeededRng(3))
+        severities = [next(feed)["severity"] for _ in range(500)]
+        assert severities.count(0) > severities.count(3)
+        assert 3 in severities or 2 in severities  # spikes do occur
+
+    def test_samples_satisfy_advertisement(self):
+        feed = MetricFeed("cache-003", "cache", SeededRng(4))
+        advertisement = metric_advertisement("cache-003", "cache")
+        for _ in range(50):
+            sample = next(feed)
+            for predicate in advertisement.predicates:
+                assert predicate.matches(sample[predicate.attribute])
+
+    def test_deterministic(self):
+        a = [next(MetricFeed("web-001", "web", SeededRng(5))) for _ in range(3)]
+        b = [next(MetricFeed("web-001", "web", SeededRng(5))) for _ in range(3)]
+        assert a == b
+
+
+class TestSubscriptionGenerator:
+    def _hosts(self):
+        return build_hosts(8, SeededRng(0))
+
+    def test_count_and_unique_ids(self):
+        subs = monitoring_subscriptions(self._hosts(), 50, SeededRng(0))
+        assert len(subs) == 50
+        assert len({s.sub_id for s in subs}) == 50
+
+    def test_population_mix(self):
+        subs = monitoring_subscriptions(self._hosts(), 400, SeededRng(1))
+        dashboards = sum(
+            1 for s in subs
+            if any(p.attribute == "host" for p in s.predicates)
+        )
+        alerts = sum(
+            1 for s in subs
+            if any(p.attribute == "value" for p in s.predicates)
+        )
+        severity = sum(
+            1 for s in subs
+            if any(p.attribute == "severity" for p in s.predicates)
+        )
+        assert 0.2 < dashboards / 400 < 0.4
+        assert 0.15 < alerts / 400 < 0.35
+        assert 0.05 < severity / 400 < 0.25
+
+    def test_threshold_alerts_are_selective(self):
+        hosts = self._hosts()
+        subs = monitoring_subscriptions(hosts, 200, SeededRng(2))
+        feed = MetricFeed(*hosts[0], SeededRng(2))
+        samples = [next(feed) for _ in range(200)]
+        for subscription in subs:
+            if not any(p.attribute == "value" for p in subscription.predicates):
+                continue
+            hits = sum(
+                1
+                for sample in samples
+                if matches(
+                    subscription,
+                    Publication("adv", 1, sample, 0.0, 0.3),
+                )
+            )
+            assert hits < len(samples)  # a threshold never matches everything
+
+    def test_subscriptions_overlap_some_advertisement(self):
+        hosts = self._hosts()
+        advertisements = [metric_advertisement(h, r) for h, r in hosts]
+        subs = monitoring_subscriptions(hosts, 100, SeededRng(3))
+        for subscription in subs:
+            assert any(overlaps(subscription, adv) for adv in advertisements)
+
+
+class TestBuildHosts:
+    def test_roles_round_robin(self):
+        hosts = build_hosts(8, SeededRng(0))
+        roles = sorted(role for _h, role in hosts)
+        for role in ROLES:
+            assert roles.count(role) == 2
+
+    def test_names_unique(self):
+        hosts = build_hosts(20, SeededRng(1))
+        assert len({host for host, _r in hosts}) == 20
+
+
+class TestAllocationOnMonitoringProfiles:
+    def test_cram_clusters_monitoring_profiles(self):
+        """The allocator consumes monitoring bit vectors unchanged."""
+        rng = SeededRng(9)
+        hosts = build_hosts(6, rng)
+        subs = monitoring_subscriptions(hosts, 60, rng)
+        directory = {}
+        feeds = {}
+        window = 96
+        for host, role in hosts:
+            adv_id = f"adv-{host}"
+            directory[adv_id] = PublisherProfile(
+                adv_id, publication_rate=2.0, bandwidth=0.6, last_message_id=window
+            )
+            feeds[adv_id] = [
+                Publication(adv_id, i, next(MetricFeed(host, role, rng)), 0.0, 0.3)
+                for i in range(1, window + 1)
+            ]
+        records = []
+        for subscription in subs:
+            from repro.core.profiles import SubscriptionProfile
+
+            profile = SubscriptionProfile(capacity=window)
+            for adv_id, publications in feeds.items():
+                for publication in publications:
+                    if matches(subscription, publication):
+                        profile.record(adv_id, publication.message_id)
+            profile.synchronize(directory)
+            records.append(
+                SubscriptionRecord(subscription.sub_id, subscription.subscriber_id,
+                                   profile)
+            )
+        units = units_from_records(records, directory)
+        cram = CramAllocator(metric="ios")
+        result = cram.allocate(units, make_pool(10, bandwidth=20.0), directory)
+        assert result.success
+        assert cram.last_stats.merges > 0
+        assert len(result.subscription_placement()) == 60

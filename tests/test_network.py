@@ -1,0 +1,131 @@
+"""Tests for PubSubNetwork wiring and deployment execution."""
+
+import pytest
+
+from repro.core.deployment import BrokerTree, Deployment
+
+from test_broker_routing import make_network, make_publisher, make_subscriber
+
+
+class TestWiring:
+    def test_duplicate_broker_rejected(self):
+        network = make_network(2)
+        with pytest.raises(ValueError):
+            network.add_broker(network.brokers["b0"].spec)
+
+    def test_self_link_rejected(self):
+        network = make_network(2)
+        with pytest.raises(ValueError):
+            network.connect_brokers("b0", "b0")
+
+    def test_links_listing(self):
+        network = make_network(3)
+        assert network.links == [("b0", "b1"), ("b1", "b2")]
+
+    def test_disconnect_all(self):
+        network = make_network(3)
+        network.disconnect_all()
+        assert network.links == []
+        assert not network.brokers["b1"].neighbors
+
+    def test_broker_pool(self):
+        network = make_network(3)
+        assert {spec.broker_id for spec in network.broker_pool()} == {"b0", "b1", "b2"}
+
+    def test_active_brokers_default_all(self):
+        network = make_network(3)
+        assert sorted(network.active_brokers) == ["b0", "b1", "b2"]
+
+
+class TestClientAttachment:
+    def test_double_attach_rejected(self):
+        network = make_network(2)
+        publisher = make_publisher()
+        network.attach_publisher(publisher, "b0")
+        with pytest.raises(ValueError):
+            network.attach_publisher(publisher, "b1")
+
+    def test_detach_then_reattach(self):
+        network = make_network(2)
+        publisher = make_publisher()
+        network.attach_publisher(publisher, "b0")
+        network.detach_all_clients()
+        assert publisher.broker_id is None
+        network.attach_publisher(publisher, "b1")
+        assert publisher.broker_id == "b1"
+
+    def test_publisher_message_ids_survive_reattach(self):
+        network = make_network(2)
+        publisher = make_publisher(rate=10.0)
+        network.attach_publisher(publisher, "b0")
+        network.run(1.0)
+        published_before = publisher.published
+        assert published_before > 0
+        network.detach_all_clients()
+        network.attach_publisher(publisher, "b1")
+        network.run(1.0)
+        assert publisher.published > published_before
+        assert publisher._next_message_id == publisher.published + 1
+
+
+class TestApplyDeployment:
+    def _deployment(self, subscriber_broker, publisher_broker):
+        tree = BrokerTree("b0")
+        tree.add_broker("b1", "b0")
+        return Deployment(
+            tree=tree,
+            subscription_placement={"s1": subscriber_broker},
+            publisher_placement={"adv-YHOO": publisher_broker},
+            approach="test",
+        )
+
+    def test_clients_move_to_assigned_brokers(self):
+        network = make_network(3)
+        subscriber = make_subscriber("s1")
+        publisher = make_publisher()
+        network.attach_subscriber(subscriber, "b2")
+        network.attach_publisher(publisher, "b2")
+        network.run(0.5)
+        network.apply_deployment(self._deployment("b1", "b0"))
+        assert subscriber.broker_id == "b1"
+        assert publisher.broker_id == "b0"
+        network.run(1.0)
+        assert subscriber.delivered > 0
+
+    def test_active_brokers_follow_deployment(self):
+        network = make_network(3)
+        network.apply_deployment(self._deployment("b0", "b0"))
+        assert sorted(network.active_brokers) == ["b0", "b1"]
+
+    def test_links_rewired_to_tree(self):
+        network = make_network(3)
+        network.apply_deployment(self._deployment("b0", "b0"))
+        assert network.links == [("b0", "b1")]
+
+    def test_unplaced_subscriber_falls_back_to_root(self):
+        network = make_network(3)
+        subscriber = make_subscriber("s-unplanned")
+        network.attach_subscriber(subscriber, "b2")
+        network.apply_deployment(self._deployment("b1", "b0"))
+        assert subscriber.broker_id == "b0"
+
+    def test_unplaced_publisher_falls_back_to_root(self):
+        network = make_network(3)
+        publisher = make_publisher("MSFT")
+        network.attach_publisher(publisher, "b2")
+        network.apply_deployment(self._deployment("b1", "b0"))
+        assert publisher.broker_id == "b0"
+
+    def test_traffic_flows_after_two_redeployments(self):
+        network = make_network(3)
+        subscriber = make_subscriber("s1")
+        publisher = make_publisher()
+        network.attach_subscriber(subscriber, "b0")
+        network.attach_publisher(publisher, "b1")
+        network.run(1.0)
+        network.apply_deployment(self._deployment("b1", "b0"))
+        network.run(1.0)
+        first = subscriber.delivered
+        network.apply_deployment(self._deployment("b0", "b1"))
+        network.run(1.0)
+        assert subscriber.delivered > first

@@ -1,0 +1,152 @@
+"""Tests for plan serialization and ASCII visualization."""
+
+import io
+import json
+
+import pytest
+
+from repro.core.binpacking import BinPackingAllocator
+from repro.core.croc import Croc
+from repro.core.deployment import BrokerTree, Deployment
+from repro.core.plan_io import (
+    PlanFormatError,
+    SCHEMA_VERSION,
+    deployment_from_dict,
+    deployment_to_dict,
+    load_deployment,
+    save_deployment,
+)
+from repro.experiments.visualize import (
+    render_broker_loads,
+    render_deployment,
+    render_tree,
+)
+from repro.workloads.offline import offline_gather
+from repro.workloads.scenarios import cluster_homogeneous
+
+from conftest import make_directory, make_unit
+
+
+def sample_deployment():
+    tree = BrokerTree("root")
+    tree.add_broker("left", "root")
+    tree.add_broker("right", "root")
+    tree.add_broker("leaf", "left")
+    return Deployment(
+        tree=tree,
+        subscription_placement={"s1": "leaf", "s2": "right"},
+        publisher_placement={"advA": "root"},
+        approach="test",
+    )
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        original = sample_deployment()
+        document = deployment_to_dict(original)
+        restored = deployment_from_dict(document)
+        assert restored.tree.root == original.tree.root
+        assert sorted(restored.tree.edges()) == sorted(original.tree.edges())
+        assert restored.subscription_placement == original.subscription_placement
+        assert restored.publisher_placement == original.publisher_placement
+        assert restored.approach == "test"
+
+    def test_file_round_trip(self, tmp_path):
+        path = str(tmp_path / "plan.json")
+        save_deployment(sample_deployment(), path)
+        restored = load_deployment(path)
+        assert restored.tree.root == "root"
+        with open(path) as handle:
+            document = json.load(handle)
+        assert document["schema_version"] == SCHEMA_VERSION
+
+    def test_stream_round_trip(self):
+        buffer = io.StringIO()
+        save_deployment(sample_deployment(), buffer)
+        buffer.seek(0)
+        restored = load_deployment(buffer)
+        assert len(restored.tree) == 4
+
+    def test_croc_plan_round_trips(self):
+        scenario = cluster_homogeneous(subscriptions_per_publisher=10, scale=0.1)
+        gathered = offline_gather(scenario, seed=3)
+        report = Croc(allocator_factory=BinPackingAllocator).plan(gathered)
+        document = deployment_to_dict(report.deployment)
+        restored = deployment_from_dict(document)
+        assert restored.subscription_placement == (
+            report.deployment.subscription_placement
+        )
+
+    def test_edges_in_any_order(self):
+        document = deployment_to_dict(sample_deployment())
+        document["edges"] = list(reversed(document["edges"]))
+        restored = deployment_from_dict(document)
+        assert len(restored.tree) == 4
+
+
+class TestFormatErrors:
+    def test_missing_version(self):
+        with pytest.raises(PlanFormatError, match="schema_version"):
+            deployment_from_dict({"root": "r"})
+
+    def test_future_version_rejected(self):
+        document = deployment_to_dict(sample_deployment())
+        document["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(PlanFormatError, match="unsupported"):
+            deployment_from_dict(document)
+
+    def test_disconnected_edges_rejected(self):
+        document = deployment_to_dict(sample_deployment())
+        document["edges"].append(["ghost-parent", "ghost-child"])
+        with pytest.raises(PlanFormatError, match="disconnected"):
+            deployment_from_dict(document)
+
+    def test_malformed_document(self):
+        with pytest.raises(PlanFormatError):
+            deployment_from_dict({"schema_version": 1, "root": "r"})
+
+    def test_placement_outside_tree_fails_validation(self):
+        document = deployment_to_dict(sample_deployment())
+        document["subscription_placement"]["s9"] = "nowhere"
+        with pytest.raises(AssertionError):
+            deployment_from_dict(document)
+
+
+class TestVisualize:
+    def test_render_tree_shape(self):
+        deployment = sample_deployment()
+        text = render_tree(deployment.tree)
+        lines = text.splitlines()
+        assert lines[0].startswith("root")
+        assert any("├── " in line for line in lines)
+        assert any("└── " in line for line in lines)
+        assert any("leaf" in line for line in lines)
+
+    def test_render_tree_annotations(self):
+        directory = make_directory(["A"])
+        tree = BrokerTree("root")
+        unit = make_unit({"A": range(32)}, directory, sub_id="s1")
+        tree.set_units("root", [unit])
+        text = render_tree(tree, directory, {"A": "root"})
+        assert "1 subs" in text
+        assert "kB/s" in text
+        assert "<- A" in text
+
+    def test_render_deployment_header(self):
+        text = render_deployment(sample_deployment())
+        assert "4 brokers" in text
+        assert "2 subscriptions" in text
+
+    def test_render_broker_loads(self):
+        text = render_broker_loads({"b0": 100.0, "b1": 25.0})
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert lines[0].count("#") > lines[1].count("#")
+        assert "100.0 msg/s" in lines[0]
+
+    def test_render_broker_loads_empty(self):
+        assert render_broker_loads({}) == "(no brokers)"
+
+    def test_render_single_node_tree(self):
+        tree = BrokerTree("only")
+        assert render_tree(tree) == "only"

@@ -1,0 +1,162 @@
+"""Tests for the attribute predicate language."""
+
+import pytest
+
+from repro.pubsub.predicate import (
+    Operator,
+    Predicate,
+    covers,
+    intersects,
+    parse_predicates,
+)
+
+
+class TestOperatorParsing:
+    def test_symbolic_tokens(self):
+        assert Operator.parse("=") is Operator.EQ
+        assert Operator.parse("<") is Operator.LT
+        assert Operator.parse(">=") is Operator.GE
+        assert Operator.parse("<>") is Operator.NEQ
+
+    def test_aliases(self):
+        assert Operator.parse("==") is Operator.EQ
+        assert Operator.parse("!=") is Operator.NEQ
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            Operator.parse("~=")
+
+
+class TestMatching:
+    def test_equality(self):
+        predicate = Predicate("symbol", Operator.EQ, "YHOO")
+        assert predicate.matches("YHOO")
+        assert not predicate.matches("MSFT")
+
+    def test_numeric_comparisons(self):
+        assert Predicate("low", Operator.LT, 20.0).matches(19.9)
+        assert not Predicate("low", Operator.LT, 20.0).matches(20.0)
+        assert Predicate("low", Operator.LE, 20.0).matches(20.0)
+        assert Predicate("volume", Operator.GT, 100).matches(101)
+        assert Predicate("volume", Operator.GE, 100).matches(100)
+
+    def test_numeric_op_rejects_string_value_at_construction(self):
+        with pytest.raises(ValueError):
+            Predicate("low", Operator.LT, "twenty")
+
+    def test_numeric_op_on_string_publication_value(self):
+        assert not Predicate("low", Operator.LT, 20.0).matches("cheap")
+
+    def test_boolean_not_treated_as_number(self):
+        assert not Predicate("low", Operator.LT, 20.0).matches(True)
+
+    def test_string_operators(self):
+        assert Predicate("date", Operator.PREFIX, "5-").matches("5-Sep-96")
+        assert Predicate("date", Operator.SUFFIX, "-96").matches("5-Sep-96")
+        assert Predicate("date", Operator.CONTAINS, "Sep").matches("5-Sep-96")
+        assert not Predicate("date", Operator.PREFIX, "6-").matches("5-Sep-96")
+
+    def test_present_matches_anything(self):
+        assert Predicate("date", Operator.PRESENT).matches("x")
+        assert Predicate("date", Operator.PRESENT).matches(0)
+
+    def test_neq(self):
+        predicate = Predicate("closeEqualsLow", Operator.NEQ, "true")
+        assert predicate.matches("false")
+        assert not predicate.matches("true")
+
+
+class TestIntersects:
+    def test_different_attributes_raise(self):
+        a = Predicate("x", Operator.EQ, 1)
+        b = Predicate("y", Operator.EQ, 1)
+        with pytest.raises(ValueError):
+            intersects(a, b)
+
+    def test_equality_vs_range(self):
+        eq = Predicate("low", Operator.EQ, 10.0)
+        below = Predicate("low", Operator.LT, 20.0)
+        above = Predicate("low", Operator.GT, 20.0)
+        assert intersects(eq, below)
+        assert not intersects(eq, above)
+
+    def test_overlapping_ranges(self):
+        a = Predicate("low", Operator.GT, 10.0)
+        b = Predicate("low", Operator.LT, 20.0)
+        assert intersects(a, b)
+
+    def test_disjoint_ranges(self):
+        a = Predicate("low", Operator.GT, 20.0)
+        b = Predicate("low", Operator.LT, 10.0)
+        assert not intersects(a, b)
+
+    def test_touching_endpoints_inclusive(self):
+        a = Predicate("low", Operator.GE, 10.0)
+        b = Predicate("low", Operator.LE, 10.0)
+        assert intersects(a, b)
+
+    def test_touching_endpoints_exclusive(self):
+        a = Predicate("low", Operator.GT, 10.0)
+        b = Predicate("low", Operator.LT, 10.0)
+        assert not intersects(a, b)
+        half = Predicate("low", Operator.GE, 10.0)
+        assert not intersects(half, b)
+
+    def test_present_always_intersects(self):
+        a = Predicate("x", Operator.PRESENT)
+        b = Predicate("x", Operator.EQ, "v")
+        assert intersects(a, b)
+
+    def test_string_ops_conservative(self):
+        a = Predicate("date", Operator.PREFIX, "5-")
+        b = Predicate("date", Operator.SUFFIX, "-96")
+        assert intersects(a, b)
+
+    def test_symmetry(self):
+        eq = Predicate("low", Operator.EQ, 10.0)
+        lt = Predicate("low", Operator.LT, 5.0)
+        assert intersects(eq, lt) == intersects(lt, eq)
+
+
+class TestCovers:
+    def test_wider_range_covers_narrower(self):
+        wide = Predicate("low", Operator.LT, 100.0)
+        narrow = Predicate("low", Operator.LT, 50.0)
+        assert covers(wide, narrow)
+        assert not covers(narrow, wide)
+
+    def test_range_covers_equality_point(self):
+        wide = Predicate("low", Operator.LT, 100.0)
+        point = Predicate("low", Operator.EQ, 50.0)
+        assert covers(wide, point)
+
+    def test_present_covers_everything(self):
+        assert covers(Predicate("x", Operator.PRESENT), Predicate("x", Operator.EQ, 1))
+
+    def test_same_predicate_covers_itself(self):
+        predicate = Predicate("date", Operator.PREFIX, "5-")
+        assert covers(predicate, predicate)
+
+    def test_equal_bound_inclusivity(self):
+        le = Predicate("low", Operator.LE, 10.0)
+        lt = Predicate("low", Operator.LT, 10.0)
+        assert covers(le, lt)
+        assert not covers(lt, le)
+
+    def test_different_attribute_never_covers(self):
+        assert not covers(Predicate("x", Operator.PRESENT), Predicate("y", Operator.EQ, 1))
+
+    def test_contains_covers_longer_contains(self):
+        general = Predicate("s", Operator.CONTAINS, "ab")
+        specific = Predicate("s", Operator.CONTAINS, "xaby")
+        assert covers(general, specific)
+
+
+class TestParse:
+    def test_parse_paper_notation(self):
+        predicates = parse_predicates(
+            [("class", "=", "STOCK"), ("symbol", "=", "YHOO"), ("low", "<", 25.0)]
+        )
+        assert len(predicates) == 3
+        assert predicates[2].operator is Operator.LT
+        assert predicates[2].value == 25.0

@@ -1,0 +1,94 @@
+"""Property-based tests for the predicate algebra.
+
+The routing layer relies on two soundness properties:
+
+* ``intersects(p, q)`` may over-approximate but must never report
+  ``False`` when a value satisfying both exists (a false negative
+  would silently drop subscriptions from routing paths);
+* ``covers(p, q)`` may under-approximate but must never report ``True``
+  unless every value matching ``q`` matches ``p`` (an unsound cover
+  would suppress live subscriptions under the covering optimization).
+
+Hypothesis hammers both with random numeric predicates and probe
+values.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pubsub.predicate import Operator, Predicate, covers, intersects
+
+NUMERIC_OPS = (Operator.LT, Operator.LE, Operator.GT, Operator.GE, Operator.EQ)
+
+values = st.integers(min_value=-50, max_value=50).map(float)
+numeric_predicates = st.builds(
+    lambda op, value: Predicate("x", op, value),
+    st.sampled_from(NUMERIC_OPS),
+    values,
+)
+probes = st.one_of(
+    st.integers(min_value=-60, max_value=60).map(float),
+    st.floats(min_value=-60.0, max_value=60.0, allow_nan=False),
+)
+
+
+@given(p=numeric_predicates, q=numeric_predicates, probe=probes)
+@settings(max_examples=300)
+def test_prop_intersects_has_no_false_negatives(p, q, probe):
+    if p.matches(probe) and q.matches(probe):
+        assert intersects(p, q), f"{p} and {q} both match {probe}"
+
+
+@given(p=numeric_predicates, q=numeric_predicates, probe=probes)
+@settings(max_examples=300)
+def test_prop_covers_is_sound(p, q, probe):
+    if covers(p, q) and q.matches(probe):
+        assert p.matches(probe), f"{p} claimed to cover {q} but missed {probe}"
+
+
+@given(p=numeric_predicates, q=numeric_predicates)
+@settings(max_examples=200)
+def test_prop_intersects_symmetric(p, q):
+    assert intersects(p, q) == intersects(q, p)
+
+
+@given(p=numeric_predicates)
+@settings(max_examples=100)
+def test_prop_predicate_intersects_itself(p):
+    assert intersects(p, p)
+
+
+@given(p=numeric_predicates)
+@settings(max_examples=100)
+def test_prop_predicate_covers_itself(p):
+    assert covers(p, p)
+
+
+@given(p=numeric_predicates, q=numeric_predicates)
+@settings(max_examples=200)
+def test_prop_cover_implies_intersect_when_satisfiable(p, q):
+    # If p covers a satisfiable q, the two trivially intersect.
+    if covers(p, q):
+        # Find a witness value for q among a coarse probe grid.
+        witness = next(
+            (value for value in range(-55, 56) if q.matches(float(value))), None
+        )
+        if witness is not None:
+            assert intersects(p, q)
+
+
+@given(
+    op=st.sampled_from((Operator.PREFIX, Operator.SUFFIX, Operator.CONTAINS)),
+    text=st.text(alphabet="abc", max_size=6),
+    fragment=st.text(alphabet="abc", max_size=3),
+)
+@settings(max_examples=150)
+def test_prop_string_predicates_consistent(op, text, fragment):
+    predicate = Predicate("s", op, fragment)
+    result = predicate.matches(text)
+    if op is Operator.PREFIX:
+        assert result == text.startswith(fragment)
+    elif op is Operator.SUFFIX:
+        assert result == text.endswith(fragment)
+    else:
+        assert result == (fragment in text)

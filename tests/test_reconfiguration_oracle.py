@@ -1,0 +1,76 @@
+"""Oracle checks across randomized reconfigurations.
+
+Whatever deployment is applied — random trees, random placements,
+repeatedly — the routing substrate must keep its two guarantees: no
+false-positive deliveries, and template subscribers keep receiving.
+This catches stale-state bugs in broker reset / rewiring / client
+migration that single-reconfiguration tests can miss.
+"""
+
+import pytest
+
+from repro.core.baselines import automatic_deployment, manual_deployment
+from repro.pubsub.matching import matches
+from repro.sim.rng import SeededRng
+
+from test_routing_oracle import build_oracle_network
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_random_redeployments_preserve_correctness(seed):
+    network, subscribers, publishers = build_oracle_network(seed)
+    network.run(2.0)
+    rng = SeededRng(seed, "redeploy")
+    pool = network.broker_pool()
+    sub_ids = [
+        subscription.sub_id
+        for subscriber in subscribers
+        for subscription in subscriber.subscriptions
+    ]
+    adv_ids = [publisher.adv_id for publisher in publishers]
+    for round_index in range(3):
+        builder = automatic_deployment if round_index % 2 else manual_deployment
+        deployment = builder(pool, sub_ids, adv_ids, rng.child(str(round_index)))
+        network.apply_deployment(deployment)
+        for subscriber in subscribers:
+            subscriber.received.clear()
+        network.run(4.0)
+        delivered = 0
+        for subscriber in subscribers:
+            for publication in subscriber.received:
+                delivered += 1
+                assert any(
+                    matches(subscription, publication)
+                    for subscription in subscriber.subscriptions
+                ), f"false positive after redeploy round {round_index}"
+        assert delivered > 0, f"nothing delivered after redeploy {round_index}"
+
+
+@pytest.mark.parametrize("seed", range(2))
+def test_no_duplicate_deliveries_across_redeployments(seed):
+    """Each (adv, message) pair reaches a subscriber at most once,
+    even with redeployments in between (modulo the redeployment
+    boundary itself, which clears history here)."""
+    network, subscribers, publishers = build_oracle_network(seed)
+    network.run(2.0)
+    rng = SeededRng(seed, "dupes")
+    pool = network.broker_pool()
+    sub_ids = [
+        subscription.sub_id
+        for subscriber in subscribers
+        for subscription in subscriber.subscriptions
+    ]
+    adv_ids = [publisher.adv_id for publisher in publishers]
+    deployment = manual_deployment(pool, sub_ids, adv_ids, rng)
+    network.apply_deployment(deployment)
+    for subscriber in subscribers:
+        subscriber.received.clear()
+    network.run(5.0)
+    for subscriber in subscribers:
+        keys = [
+            (publication.adv_id, publication.message_id)
+            for publication in subscriber.received
+        ]
+        assert len(keys) == len(set(keys)), (
+            f"{subscriber.client_id} received duplicates"
+        )

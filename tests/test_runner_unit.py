@@ -1,0 +1,137 @@
+"""Unit-level tests for the experiment runner and CROC planning."""
+
+import pytest
+
+from repro.core.binpacking import BinPackingAllocator
+from repro.core.croc import Croc, ReconfigurationError
+from repro.core.grape import GrapeRelocator
+from repro.core.overlay_builder import OverlayBuilder
+from repro.experiments.runner import APPROACHES, ExperimentResult, ExperimentRunner
+from repro.pubsub.metrics import MetricsSummary
+from repro.workloads.offline import offline_gather
+from repro.workloads.scenarios import cluster_homogeneous
+
+
+def _summary(rate: float, pool: int = 10, active: int = 2) -> MetricsSummary:
+    return MetricsSummary(
+        duration=10.0,
+        pool_size=pool,
+        active_brokers=active,
+        total_broker_messages=int(rate * 10 * pool),
+        delivery_count=100,
+        mean_delivery_delay=0.05,
+        mean_hop_count=1.5,
+        max_delivery_delay=0.2,
+        avg_broker_message_rate=rate,
+        avg_active_broker_message_rate=rate * pool / active,
+        mean_utilization=0.5,
+        max_utilization=0.9,
+    )
+
+
+class TestExperimentResultMath:
+    def _result(self, base_rate=10.0, rate=2.0, allocated=2, pool=10):
+        return ExperimentResult(
+            approach="x",
+            scenario="s",
+            pool_size=pool,
+            allocated_brokers=allocated,
+            summary=_summary(rate, pool),
+            baseline_summary=_summary(base_rate, pool),
+            computation_seconds=0.1,
+            total_subscriptions=100,
+        )
+
+    def test_message_rate_reduction(self):
+        result = self._result(base_rate=10.0, rate=2.0)
+        assert result.message_rate_reduction == pytest.approx(0.8)
+
+    def test_broker_reduction(self):
+        result = self._result(allocated=2, pool=10)
+        assert result.broker_reduction == pytest.approx(0.8)
+
+    def test_zero_baseline_rate(self):
+        result = self._result(base_rate=0.0, rate=2.0)
+        assert result.message_rate_reduction == 0.0
+
+    def test_zero_pool(self):
+        result = self._result(pool=0)
+        assert result.broker_reduction == 0.0
+
+    def test_as_row_round_trip(self):
+        row = self._result().as_row()
+        assert row["msg_rate_reduction_pct"] == pytest.approx(80.0)
+        assert row["broker_reduction_pct"] == pytest.approx(80.0)
+
+
+class TestRunnerFactories:
+    @pytest.fixture
+    def runner(self):
+        scenario = cluster_homogeneous(subscriptions_per_publisher=8, scale=0.1)
+        return ExperimentRunner(scenario, seed=1)
+
+    def test_allocator_factory_names(self, runner):
+        assert runner._allocator_factory("binpacking")().name == "binpacking"
+        assert runner._allocator_factory("fbf")().name == "fbf"
+        assert runner._allocator_factory("cram-iou")().name == "cram-iou"
+
+    def test_allocator_factory_rejects_baselines(self, runner):
+        with pytest.raises(ValueError):
+            runner._allocator_factory("manual")
+
+    def test_croc_for_carries_approach_name(self, runner):
+        croc = runner.croc_for("cram-ios")
+        assert croc.approach == "cram-ios"
+
+    def test_croc_for_accepts_custom_overlay_builder(self, runner):
+        builder = OverlayBuilder(BinPackingAllocator, takeover_children=False)
+        croc = runner.croc_for("binpacking", overlay_builder=builder)
+        assert croc.overlay_builder is builder
+
+    def test_custom_grape(self):
+        scenario = cluster_homogeneous(subscriptions_per_publisher=8, scale=0.1)
+        grape = GrapeRelocator(objective="delay", priority=0.7)
+        runner = ExperimentRunner(scenario, seed=1, grape=grape)
+        assert runner.croc_for("binpacking").grape is grape
+
+
+class TestCrocPlan:
+    def test_plan_without_network(self):
+        """CROC planning is pure computation over gathered state."""
+        scenario = cluster_homogeneous(subscriptions_per_publisher=10, scale=0.1)
+        gathered = offline_gather(scenario, seed=5)
+        croc = Croc(allocator_factory=BinPackingAllocator)
+        report = croc.plan(gathered)
+        assert report.allocated_brokers >= 1
+        report.deployment.validate()
+        assert report.computation_seconds > 0
+        assert set(report.deployment.subscription_placement) == {
+            record.sub_id for record in gathered.records
+        }
+
+    def test_plan_failure_raises_with_context(self):
+        scenario = cluster_homogeneous(
+            subscriptions_per_publisher=10, scale=0.1,
+            broker_bandwidth_kbps=0.001,
+        )
+        gathered = offline_gather(scenario, seed=5)
+        croc = Croc(allocator_factory=BinPackingAllocator, approach="binpacking")
+        with pytest.raises(ReconfigurationError, match="binpacking"):
+            croc.plan(gathered)
+
+    def test_publishers_placed_on_active_brokers(self):
+        scenario = cluster_homogeneous(subscriptions_per_publisher=10, scale=0.1)
+        gathered = offline_gather(scenario, seed=5)
+        croc = Croc(allocator_factory=BinPackingAllocator)
+        report = croc.plan(gathered)
+        for adv_id, broker_id in report.deployment.publisher_placement.items():
+            assert broker_id in report.deployment.tree
+
+    def test_every_approach_name_resolvable(self):
+        scenario = cluster_homogeneous(subscriptions_per_publisher=8, scale=0.1)
+        runner = ExperimentRunner(scenario, seed=1)
+        for approach in APPROACHES:
+            if approach in ("manual", "automatic", "pairwise-k", "pairwise-n"):
+                continue
+            croc = runner.croc_for(approach)
+            assert croc.approach == approach

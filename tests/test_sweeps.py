@@ -1,0 +1,72 @@
+"""Tests for the figure-sweep helpers."""
+
+import pytest
+
+from repro.experiments.sweeps import (
+    FIGURES,
+    figure_rows,
+    heterogeneous_scenarios,
+    homogeneous_scenarios,
+    run_cell,
+    scinet_scenarios,
+    sweep,
+)
+from repro.workloads.scenarios import cluster_homogeneous
+
+
+class TestScenarioFactories:
+    def test_homogeneous_sweep_sizes(self):
+        scenarios = homogeneous_scenarios(subs_sweep=(10, 20), scale=0.1)
+        assert len(scenarios) == 2
+        assert scenarios[0].total_subscriptions < scenarios[1].total_subscriptions
+
+    def test_heterogeneous_sweep(self):
+        scenarios = heterogeneous_scenarios(ns_sweep=(20,), scale=0.1)
+        assert scenarios[0].heterogeneous
+
+    def test_scinet_pair(self):
+        scenarios = scinet_scenarios(scale=0.05)
+        assert len(scenarios) == 2
+
+    def test_figures_registry_keys(self):
+        assert "brokers" in FIGURES
+        assert FIGURES["message-rate"] == "avg_broker_message_rate"
+
+
+class TestSweepExecution:
+    @pytest.fixture(scope="class")
+    def small_sweep(self):
+        scenarios = homogeneous_scenarios(
+            subs_sweep=(8,), scale=0.1, measurement_time=10.0
+        )
+        approaches = ("manual", "binpacking")
+        labels = []
+        results = sweep(scenarios, approaches, seed=1, progress=labels.append)
+        return scenarios, approaches, results, labels
+
+    def test_matrix_complete(self, small_sweep):
+        scenarios, approaches, results, _labels = small_sweep
+        assert set(results) == {
+            (scenario.name, approach)
+            for scenario in scenarios
+            for approach in approaches
+        }
+
+    def test_progress_callback_fired(self, small_sweep):
+        _s, _a, _r, labels = small_sweep
+        assert len(labels) == 2
+        assert "manual" in labels[0]
+
+    def test_figure_rows_pivot(self, small_sweep):
+        scenarios, approaches, results, _labels = small_sweep
+        rows = figure_rows(results, scenarios, approaches, "allocated_brokers")
+        assert len(rows) == 1
+        assert rows[0]["manual"] == scenarios[0].broker_count
+        assert rows[0]["binpacking"] < scenarios[0].broker_count
+
+    def test_run_cell_standalone(self):
+        scenario = cluster_homogeneous(
+            subscriptions_per_publisher=8, scale=0.1, measurement_time=10.0
+        )
+        result = run_cell(scenario, "manual", seed=1)
+        assert result.approach == "manual"

@@ -1,0 +1,103 @@
+"""Tests for publication tracing."""
+
+import pytest
+
+from repro.pubsub.tracing import DELIVER, FORWARD, MessageTracer, PUBLISH, RECEIVE
+
+from test_broker_routing import make_network, make_publisher, make_subscriber
+
+
+def traced_network(adv_ids=None, brokers=3):
+    network = make_network(brokers)
+    tracer = MessageTracer(adv_ids=adv_ids)
+    network.tracer = tracer
+    return network, tracer
+
+
+class TestRecording:
+    def test_full_journey_recorded(self):
+        network, tracer = traced_network()
+        subscriber = make_subscriber("s1")
+        network.attach_subscriber(subscriber, "b2")
+        network.attach_publisher(make_publisher(rate=5.0), "b0")
+        network.run(1.0)
+        route = tracer.route("adv-YHOO", 1)
+        kinds = [event.kind for event in route]
+        assert kinds[0] == PUBLISH
+        assert kinds.count(RECEIVE) == 3  # b0, b1, b2
+        assert kinds.count(FORWARD) == 2  # b0->b1, b1->b2
+        assert kinds[-1] == DELIVER
+
+    def test_brokers_visited_in_path_order(self):
+        network, tracer = traced_network()
+        network.attach_subscriber(make_subscriber("s1"), "b2")
+        network.attach_publisher(make_publisher(rate=5.0), "b0")
+        network.run(1.0)
+        assert tracer.brokers_visited("adv-YHOO", 1) == ["b0", "b1", "b2"]
+
+    def test_delivery_count_per_message(self):
+        network, tracer = traced_network()
+        network.attach_subscriber(make_subscriber("s1"), "b1")
+        network.attach_subscriber(make_subscriber("s2"), "b1")
+        network.attach_publisher(make_publisher(rate=5.0), "b0")
+        network.run(1.0)
+        assert tracer.delivery_count("adv-YHOO", 1) == 2
+
+    def test_scope_filters_other_publishers(self):
+        network, tracer = traced_network(adv_ids={"adv-YHOO"})
+        network.attach_subscriber(make_subscriber("sy", "YHOO"), "b1")
+        network.attach_subscriber(make_subscriber("sm", "MSFT"), "b1")
+        network.attach_publisher(make_publisher("YHOO", rate=5.0), "b0")
+        network.attach_publisher(make_publisher("MSFT", rate=5.0), "b0")
+        network.run(1.0)
+        assert all(event.adv_id == "adv-YHOO" for event in tracer.events)
+        assert tracer.events
+
+    def test_message_id_filter(self):
+        network, tracer = traced_network()
+        tracer.message_ids = {2}
+        network.attach_subscriber(make_subscriber("s1"), "b1")
+        network.attach_publisher(make_publisher(rate=10.0), "b0")
+        network.run(1.0)
+        assert {event.message_id for event in tracer.events} == {2}
+
+    def test_limit_bounds_memory(self):
+        network, tracer = traced_network()
+        tracer.limit = 5
+        network.attach_subscriber(make_subscriber("s1"), "b2")
+        network.attach_publisher(make_publisher(rate=50.0), "b0")
+        network.run(2.0)
+        assert len(tracer.events) == 5
+        assert tracer.dropped > 0
+
+    def test_no_tracer_costs_nothing(self):
+        network = make_network(2)
+        assert network.tracer is None
+        network.attach_subscriber(make_subscriber("s1"), "b1")
+        network.attach_publisher(make_publisher(rate=5.0), "b0")
+        network.run(1.0)  # simply must not crash
+
+
+class TestRendering:
+    def test_render_route(self):
+        network, tracer = traced_network()
+        network.attach_subscriber(make_subscriber("s1"), "b1")
+        network.attach_publisher(make_publisher(rate=5.0), "b0")
+        network.run(1.0)
+        text = tracer.render_route("adv-YHOO", 1)
+        assert "publish" in text
+        assert "deliver" in text
+        assert "adv-YHOO#1" in text
+
+    def test_render_unknown_message(self):
+        tracer = MessageTracer()
+        assert "no trace" in tracer.render_route("adv-X", 99)
+
+    def test_clear(self):
+        network, tracer = traced_network()
+        network.attach_subscriber(make_subscriber("s1"), "b1")
+        network.attach_publisher(make_publisher(rate=5.0), "b0")
+        network.run(1.0)
+        tracer.clear()
+        assert tracer.events == []
+        assert tracer.dropped == 0

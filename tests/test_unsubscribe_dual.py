@@ -1,0 +1,127 @@
+"""Tests for unsubscription propagation and dual-role clients."""
+
+import pytest
+
+from repro.pubsub.client import DualClient
+from repro.pubsub.message import Subscription
+from repro.pubsub.predicate import parse_predicates
+from repro.sim.rng import SeededRng
+from repro.workloads.stocks import StockQuoteFeed, stock_advertisement
+
+from test_broker_routing import make_network, make_publisher, make_subscriber
+
+
+class TestUnsubscription:
+    def test_deliveries_stop_after_unsubscribe(self):
+        network = make_network(3)
+        subscriber = make_subscriber("s1")
+        network.attach_subscriber(subscriber, "b2")
+        network.attach_publisher(make_publisher(rate=20.0), "b0")
+        network.run(1.0)
+        assert subscriber.delivered > 0
+        subscriber.unsubscribe("s1")
+        network.run(0.5)  # let the retraction propagate + in-flight land
+        count = subscriber.delivered
+        network.run(2.0)
+        assert subscriber.delivered == count
+
+    def test_srt_cleaned_along_whole_path(self):
+        network = make_network(3)
+        subscriber = make_subscriber("s1")
+        network.attach_subscriber(subscriber, "b2")
+        network.attach_publisher(make_publisher(), "b0")
+        network.run(1.0)
+        assert all(network.brokers[b].srt_size > 0 for b in ("b0", "b1", "b2"))
+        subscriber.unsubscribe("s1")
+        network.run(1.0)
+        assert all(network.brokers[b].srt_size == 0 for b in ("b0", "b1", "b2"))
+
+    def test_other_subscriptions_unaffected(self):
+        network = make_network(2)
+        keeper = make_subscriber("keep")
+        leaver = make_subscriber("leave")
+        network.attach_subscriber(keeper, "b1")
+        network.attach_subscriber(leaver, "b1")
+        network.attach_publisher(make_publisher(rate=20.0), "b0")
+        network.run(1.0)
+        leaver.unsubscribe("leave")
+        network.run(0.5)
+        before = keeper.delivered
+        network.run(1.0)
+        assert keeper.delivered > before
+
+    def test_unknown_sub_raises(self):
+        subscriber = make_subscriber("s1")
+        with pytest.raises(KeyError):
+            subscriber.unsubscribe("nope")
+
+    def test_unsubscribe_while_detached_is_local_only(self):
+        subscriber = make_subscriber("s1")
+        subscriber.unsubscribe("s1")  # no network: just drops the sub
+        assert subscriber.subscriptions == []
+
+    def test_duplicate_unsubscription_message_ignored(self):
+        network = make_network(2)
+        subscriber = make_subscriber("s1")
+        network.attach_subscriber(subscriber, "b1")
+        network.attach_publisher(make_publisher(), "b0")
+        network.run(1.0)
+        subscriber.unsubscribe("s1")
+        network.run(0.5)
+        # Hand-deliver a second retraction; brokers must not blow up.
+        from repro.pubsub.message import Unsubscription
+
+        network.client_send("s1", "b1", Unsubscription("s1", "s1"), 0.1)
+        network.run(0.5)
+
+
+class TestDualClient:
+    def _dual(self, symbol="YHOO", rng_seed=0):
+        rng = SeededRng(rng_seed, "dual")
+        subscription = Subscription(
+            sub_id=f"dual-{symbol}",
+            subscriber_id=f"dual-{symbol}",
+            predicates=parse_predicates(
+                [("class", "=", "STOCK"), ("symbol", "=", "MSFT")]
+            ),
+        )
+        return DualClient(
+            client_id=f"dual-{symbol}",
+            advertisement=stock_advertisement(symbol),
+            feed=StockQuoteFeed(symbol, rng),
+            rate=10.0,
+            subscriptions=[subscription],
+        )
+
+    def test_halves_attach_to_different_brokers(self):
+        network = make_network(3)
+        dual = self._dual()
+        dual.attach(network, publisher_broker="b0", subscriber_broker="b2")
+        assert dual.publisher.broker_id == "b0"
+        assert dual.subscriber.broker_id == "b2"
+
+    def test_publishes_and_receives(self):
+        network = make_network(3)
+        yhoo_dual = self._dual("YHOO")  # publishes YHOO, wants MSFT
+        yhoo_dual.attach(network, "b0", "b2")
+        msft_pub = make_publisher("MSFT", rate=10.0)
+        network.attach_publisher(msft_pub, "b1")
+        yhoo_listener = make_subscriber("listener", "YHOO")
+        network.attach_subscriber(yhoo_listener, "b1")
+        network.run(2.0)
+        assert yhoo_dual.published > 0
+        assert yhoo_dual.delivered > 0  # its subscriber half got MSFT quotes
+        assert yhoo_listener.delivered > 0  # others got its YHOO quotes
+
+    def test_register_without_attachment(self):
+        network = make_network(2)
+        dual = self._dual()
+        dual.register(network)
+        assert dual.publisher.client_id in network.publishers
+        assert dual.subscriber.client_id in network.subscribers
+        assert dual.publisher.broker_id is None
+
+    def test_halves_have_distinct_client_ids(self):
+        dual = self._dual()
+        assert dual.publisher.client_id != dual.subscriber.client_id
+        assert dual.client_id in dual.publisher.client_id

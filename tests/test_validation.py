@@ -1,0 +1,160 @@
+"""Tests for post-hoc deployment validation."""
+
+import pytest
+
+from repro.core.capacity import BrokerSpec, MatchingDelayFunction
+from repro.core.deployment import BrokerTree, Deployment
+from repro.core.validation import validate_deployment
+from repro.workloads.offline import offline_gather
+from repro.workloads.scenarios import cluster_homogeneous
+
+from conftest import make_directory, make_record, make_spec
+
+
+@pytest.fixture
+def directory():
+    return make_directory(["A", "B"])
+
+
+def two_broker_tree():
+    tree = BrokerTree("root")
+    tree.add_broker("leaf", "root")
+    return tree
+
+
+class TestPlacementChecks:
+    def test_valid_deployment_passes(self, directory):
+        record = make_record({"A": range(32)}, sub_id="s1")
+        deployment = Deployment(
+            tree=two_broker_tree(),
+            subscription_placement={"s1": "leaf"},
+            publisher_placement={"A": "root"},
+        )
+        specs = {"root": make_spec("root"), "leaf": make_spec("leaf")}
+        report = validate_deployment(deployment, [record], directory, specs)
+        assert report.ok
+        assert report.loads["leaf"].subscription_count == 1
+
+    def test_unplaced_subscription_flagged(self, directory):
+        record = make_record({"A": [1]}, sub_id="lost")
+        deployment = Deployment(tree=two_broker_tree())
+        specs = {"root": make_spec("root"), "leaf": make_spec("leaf")}
+        report = validate_deployment(deployment, [record], directory, specs)
+        assert not report.ok
+        assert report.violations_of("placement")
+
+    def test_placement_outside_tree_flagged(self, directory):
+        record = make_record({"A": [1]}, sub_id="s1")
+        deployment = Deployment(
+            tree=two_broker_tree(), subscription_placement={"s1": "ghost"}
+        )
+        specs = {"root": make_spec("root"), "leaf": make_spec("leaf")}
+        report = validate_deployment(deployment, [record], directory, specs)
+        assert any("outside the tree" in v.detail for v in report.violations)
+
+    def test_unknown_subscription_in_placement_flagged(self, directory):
+        deployment = Deployment(
+            tree=two_broker_tree(), subscription_placement={"mystery": "leaf"}
+        )
+        specs = {"root": make_spec("root"), "leaf": make_spec("leaf")}
+        report = validate_deployment(deployment, [], directory, specs)
+        assert any("unknown subscription" in v.detail for v in report.violations)
+
+    def test_missing_spec_flagged(self, directory):
+        deployment = Deployment(tree=two_broker_tree())
+        report = validate_deployment(deployment, [], directory,
+                                     {"root": make_spec("root")})
+        assert any(v.broker_id == "leaf" for v in report.violations_of("placement"))
+
+
+class TestCapacityChecks:
+    def test_output_overload_detected(self, directory):
+        # Full-rate subscription: 10 kB/s against a 1 kB/s broker.
+        record = make_record({"A": range(64)}, sub_id="s1")
+        deployment = Deployment(
+            tree=two_broker_tree(), subscription_placement={"s1": "leaf"}
+        )
+        specs = {"root": make_spec("root"), "leaf": make_spec("leaf", bandwidth=1.0)}
+        report = validate_deployment(deployment, [record], directory, specs)
+        overloads = report.violations_of("output-bandwidth")
+        assert overloads and overloads[0].broker_id == "leaf"
+        assert overloads[0].measured > overloads[0].limit
+
+    def test_stream_bandwidth_charged_to_parent(self, directory):
+        record = make_record({"A": range(64)}, sub_id="s1")  # 10 kB/s stream
+        deployment = Deployment(
+            tree=two_broker_tree(), subscription_placement={"s1": "leaf"}
+        )
+        specs = {"root": make_spec("root", bandwidth=5.0),
+                 "leaf": make_spec("leaf", bandwidth=100.0)}
+        report = validate_deployment(deployment, [record], directory, specs)
+        assert report.loads["root"].stream_bandwidth == pytest.approx(10.0)
+        assert any(v.broker_id == "root"
+                   for v in report.violations_of("output-bandwidth"))
+
+    def test_matching_rate_overload_detected(self, directory):
+        record = make_record({"A": range(64)}, sub_id="s1")  # 10 msg/s input
+        slow = BrokerSpec(
+            "leaf", total_output_bandwidth=1000.0,
+            delay_function=MatchingDelayFunction(base=0.5, per_subscription=0.0),
+        )  # max 2 msg/s
+        deployment = Deployment(
+            tree=two_broker_tree(), subscription_placement={"s1": "leaf"}
+        )
+        specs = {"root": make_spec("root"), "leaf": slow}
+        report = validate_deployment(deployment, [record], directory, specs)
+        assert report.violations_of("matching-rate")
+
+    def test_local_publisher_adds_input(self, directory):
+        deployment = Deployment(
+            tree=two_broker_tree(), publisher_placement={"A": "root"}
+        )
+        specs = {"root": make_spec("root"), "leaf": make_spec("leaf")}
+        report = validate_deployment(deployment, [], directory, specs)
+        assert report.loads["root"].input_rate == pytest.approx(10.0)
+
+    def test_tolerance_allows_small_overshoot(self, directory):
+        record = make_record({"A": range(64)}, sub_id="s1")  # 10 kB/s
+        deployment = Deployment(
+            tree=two_broker_tree(), subscription_placement={"s1": "leaf"}
+        )
+        specs = {"root": make_spec("root"), "leaf": make_spec("leaf", bandwidth=9.8)}
+        tight = validate_deployment(deployment, [record], directory, specs,
+                                    tolerance=1.0)
+        loose = validate_deployment(deployment, [record], directory, specs,
+                                    tolerance=1.1)
+        assert not tight.ok
+        assert loose.ok
+
+
+class TestAgainstRealAllocations:
+    def test_croc_plans_validate_cleanly(self):
+        """Every CROC-produced deployment must pass its own constraints."""
+        from repro.core.binpacking import BinPackingAllocator
+        from repro.core.croc import Croc
+
+        scenario = cluster_homogeneous(subscriptions_per_publisher=20, scale=0.2)
+        gathered = offline_gather(scenario, seed=7)
+        croc = Croc(allocator_factory=BinPackingAllocator)
+        report = croc.plan(gathered)
+        specs = {spec.broker_id: spec for spec in gathered.broker_pool}
+        validation = validate_deployment(
+            report.deployment, gathered.records, gathered.directory, specs
+        )
+        assert validation.violations_of("placement") == []
+        assert validation.violations_of("output-bandwidth") == []
+
+    def test_cram_plans_validate_cleanly(self):
+        from repro.core.cram import CramAllocator
+        from repro.core.croc import Croc
+
+        scenario = cluster_homogeneous(subscriptions_per_publisher=20, scale=0.2)
+        gathered = offline_gather(scenario, seed=7)
+        croc = Croc(allocator_factory=lambda: CramAllocator(metric="ios"))
+        report = croc.plan(gathered)
+        specs = {spec.broker_id: spec for spec in gathered.broker_pool}
+        validation = validate_deployment(
+            report.deployment, gathered.records, gathered.directory, specs
+        )
+        assert validation.violations_of("placement") == []
+        assert validation.violations_of("output-bandwidth") == []
