@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# One-shot correctness gate: tier-1 tests + reprolint + ruff + mypy.
+#
+# ruff and mypy are optional dependencies (pyproject [project.optional-
+# dependencies].lint); when they are not installed — e.g. in the minimal
+# reproduction container — they are skipped with a notice so the
+# deterministic checks still gate the build.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 pytest =="
+python -m pytest -x -q
+
+echo "== reprolint (python -m repro.tools.lint src) =="
+python -m repro.tools.lint src
+
+echo "== ruff =="
+if command -v ruff >/dev/null 2>&1; then
+    ruff check src tests
+else
+    echo "ruff not installed; skipping (pip install -e .[lint])"
+fi
+
+echo "== mypy (strict on core/ and sim/) =="
+if command -v mypy >/dev/null 2>&1; then
+    mypy
+else
+    echo "mypy not installed; skipping (pip install -e .[lint])"
+fi
+
+echo "== all checks passed =="

@@ -14,6 +14,8 @@ Quickstart::
     print(result.summary.as_row())
 """
 
+from __future__ import annotations
+
 __version__ = "1.0.0"
 
 from repro import core, pubsub, sim, workloads

@@ -1,5 +1,7 @@
 """``python -m repro`` — experiment driver entry point."""
 
+from __future__ import annotations
+
 from repro.experiments.cli import main
 
 raise SystemExit(main())

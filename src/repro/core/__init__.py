@@ -11,6 +11,8 @@ Related and baseline approaches — :mod:`repro.core.pairwise`,
 :mod:`repro.core.baselines`.
 """
 
+from __future__ import annotations
+
 from repro.core.bitvector import DEFAULT_CAPACITY, BitVector
 from repro.core.binpacking import BinPackingAllocator
 from repro.core.baselines import automatic_deployment, manual_deployment
@@ -40,7 +42,16 @@ from repro.core.pairwise import PairwiseKAllocator, PairwiseNAllocator, pairwise
 from repro.core.poset import Poset, PosetNode
 from repro.core.profiles import PublisherProfile, SubscriptionProfile, merge_profiles
 from repro.core.relations import Relation, relationship
-from repro.core.units import AllocationUnit, SubscriptionRecord, units_from_records
+from repro.core.units import (
+    EPSILON,
+    AllocationUnit,
+    SubscriptionRecord,
+    approx_eq,
+    approx_ge,
+    approx_le,
+    approx_zero,
+    units_from_records,
+)
 from repro.core.plan_io import (
     deployment_from_dict,
     deployment_to_dict,
@@ -97,6 +108,11 @@ __all__ = [
     "merge_profiles",
     "Relation",
     "relationship",
+    "EPSILON",
+    "approx_eq",
+    "approx_ge",
+    "approx_le",
+    "approx_zero",
     "AllocationUnit",
     "SubscriptionRecord",
     "units_from_records",

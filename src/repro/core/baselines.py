@@ -15,7 +15,7 @@ quantifiable".
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, Sequence
 
 from repro.core.capacity import BrokerSpec, sorted_broker_pool
 from repro.core.deployment import BrokerTree, Deployment

@@ -22,14 +22,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.bitvector import BitVector
-from repro.core.profiles import PublisherDirectory, PublisherProfile
-from repro.core.units import AllocationUnit
-
-#: Slack used in floating-point capacity comparisons.
-EPSILON = 1e-9
+from repro.core.profiles import PublisherDirectory
+from repro.core.units import AllocationUnit, approx_le
 
 
 @dataclass(frozen=True)
@@ -70,7 +67,7 @@ class BrokerSpec:
     url: str = ""
 
     @property
-    def capacity_key(self):
+    def capacity_key(self) -> Tuple[float, str]:
         """Deterministic 'most resourceful first' sort key."""
         return (-self.total_output_bandwidth, self.broker_id)
 
@@ -155,11 +152,14 @@ class BrokerBin:
     # ------------------------------------------------------------------
     def can_accept(self, unit: AllocationUnit) -> bool:
         """The paper's two-part feasibility test."""
-        if self.used_bandwidth + unit.delivery_bandwidth > self.spec.total_output_bandwidth + EPSILON:
+        if not approx_le(
+            self.used_bandwidth + unit.delivery_bandwidth,
+            self.spec.total_output_bandwidth,
+        ):
             return False
         subscription_count = self.subscription_count + unit.subscription_count
         max_rate = self.spec.delay_function.max_matching_rate(subscription_count)
-        return self.input_rate + self._rate_increase(unit) <= max_rate + EPSILON
+        return approx_le(self.input_rate + self._rate_increase(unit), max_rate)
 
     def add(self, unit: AllocationUnit) -> None:
         """Place ``unit`` on this broker (caller checked feasibility)."""

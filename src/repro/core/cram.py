@@ -34,8 +34,7 @@ Per-relationship clustering rules (paper §IV-C.1):
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.core.binpacking import BinPackingAllocator

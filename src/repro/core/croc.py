@@ -15,14 +15,14 @@ from __future__ import annotations
 import itertools
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional
 
 from repro.core.capacity import AllocationResult, BrokerSpec
-from repro.core.deployment import BrokerTree, Deployment
+from repro.core.deployment import Deployment
 from repro.core.grape import GrapeRelocator
 from repro.core.overlay_builder import OverlayBuilder
 from repro.core.profiles import PublisherProfile
-from repro.core.units import AllocationUnit, SubscriptionRecord, units_from_records
+from repro.core.units import SubscriptionRecord, units_from_records
 from repro.pubsub.message import (
     BrokerInformationAnswer,
     BrokerInformationRequest,

@@ -13,7 +13,7 @@ S >> number of brokers).
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, Optional, Sequence
 
 from repro.core.capacity import (
     AllocationResult,

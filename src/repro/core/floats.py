@@ -1,0 +1,37 @@
+"""Float tolerance helpers for unit-bearing quantities.
+
+Capacity, bandwidth, and rate values are sums of float estimates, so
+exact ``==``/``!=`` comparisons on them are bugs waiting to happen —
+the *reprolint* ``float-equality`` rule bans them.  These helpers are
+the sanctioned replacement.
+
+This module sits below :mod:`repro.core.profiles` in the import graph
+(it imports nothing) so that every core module — including profiles
+itself — can use the helpers without cycles.  Most callers should
+import them from :mod:`repro.core.units`, which re-exports them.
+"""
+
+from __future__ import annotations
+
+#: Slack used in floating-point capacity comparisons.
+EPSILON = 1e-9
+
+
+def approx_eq(left: float, right: float, tolerance: float = EPSILON) -> bool:
+    """Whether two float quantities agree within ``tolerance``."""
+    return abs(left - right) <= tolerance
+
+
+def approx_zero(value: float, tolerance: float = EPSILON) -> bool:
+    """Whether a float quantity is zero within ``tolerance``."""
+    return abs(value) <= tolerance
+
+
+def approx_le(left: float, right: float, tolerance: float = EPSILON) -> bool:
+    """``left <= right`` with ``tolerance`` slack (capacity feasibility)."""
+    return left <= right + tolerance
+
+
+def approx_ge(left: float, right: float, tolerance: float = EPSILON) -> bool:
+    """``left >= right`` with ``tolerance`` slack."""
+    return left >= right - tolerance

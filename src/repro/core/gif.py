@@ -16,9 +16,9 @@ moves units out into a new GIF keyed by the merged profile.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple
 
-from repro.core.profiles import PublisherDirectory, SubscriptionProfile
+from repro.core.profiles import SubscriptionProfile
 from repro.core.units import AllocationUnit
 
 _gif_ids = itertools.count()

@@ -25,8 +25,8 @@ C. **Best-fit broker replacement** — swap each allocated broker for the
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.capacity import AllocationResult, BrokerBin, BrokerSpec, sorted_broker_pool
 from repro.core.deployment import BrokerTree

@@ -14,7 +14,7 @@ versions instead of mis-reading them.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, IO, Optional, Union
+from typing import Any, Dict, IO, Union
 
 from repro.core.deployment import BrokerTree, Deployment
 

@@ -28,7 +28,7 @@ from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set, Tupl
 
 from repro.core.closeness import ClosenessMetric
 from repro.core.gif import Gif
-from repro.core.profiles import SubscriptionProfile
+from repro.core.units import approx_zero
 
 
 class PosetNode:
@@ -254,7 +254,7 @@ class Poset:
             else:
                 value = metric(gif.profile, node.gif.profile)
                 consider(node.gif, value)
-                if value == 0.0:
+                if approx_zero(value):
                     continue  # empty relation: whole subtree is empty too
                 if parent_value is not None and value < parent_value:
                     continue  # closeness started to decrease: prune

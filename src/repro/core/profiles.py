@@ -26,10 +26,14 @@ with 10 of 100 bits set against a 50 msg/s, 50 kB/s publisher induces
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple
 
 from repro.core.bitvector import DEFAULT_CAPACITY, BitVector
+
+# Imported from the implementation module rather than repro.core.units
+# (the usual import point) because units.py imports this module.
+from repro.core.floats import approx_zero
 
 
 @dataclass
@@ -64,7 +68,7 @@ class PublisherProfile:
     @property
     def message_size(self) -> float:
         """Average message size in kB (bandwidth / rate)."""
-        if self.publication_rate == 0:
+        if approx_zero(self.publication_rate):
             return 0.0
         return self.bandwidth / self.publication_rate
 

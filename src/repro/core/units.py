@@ -20,14 +20,35 @@ Unit semantics (DESIGN.md §5):
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple
 
+# Canonical import point for the float tolerance helpers mandated by
+# reprolint's float-equality rule (implementation lives one layer down
+# in repro.core.floats to stay import-cycle-free).
+from repro.core.floats import (
+    EPSILON,
+    approx_eq,
+    approx_ge,
+    approx_le,
+    approx_zero,
+)
 from repro.core.profiles import (
     PublisherDirectory,
     SubscriptionProfile,
     merge_profiles,
 )
+
+__all__ = [
+    "EPSILON",
+    "approx_eq",
+    "approx_ge",
+    "approx_le",
+    "approx_zero",
+    "SubscriptionRecord",
+    "AllocationUnit",
+    "units_from_records",
+]
 
 _unit_ids = itertools.count()
 

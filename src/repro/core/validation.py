@@ -23,9 +23,8 @@ overshoot (e.g. from profile estimation error) is acceptable.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Sequence
 
-from repro.core.bitvector import BitVector
 from repro.core.capacity import BrokerSpec
 from repro.core.deployment import BrokerTree, Deployment
 from repro.core.profiles import PublisherDirectory, SubscriptionProfile, merge_profiles

@@ -1,5 +1,7 @@
 """Experiment harness: scenarios, reconfiguration, reporting, tooling."""
 
+from __future__ import annotations
+
 from repro.experiments.continuous import (
     ContinuousReconfigurator,
     CycleReport,

@@ -15,7 +15,7 @@ brokers the system needed *this* cycle.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from repro.core.croc import Croc, ReconfigurationError

@@ -24,7 +24,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.baselines import automatic_deployment, manual_deployment
 from repro.core.binpacking import BinPackingAllocator
-from repro.core.capacity import AllocationResult, BrokerSpec
+from repro.core.capacity import BrokerSpec
 from repro.core.cram import CramAllocator, CramStats
 from repro.core.croc import Croc, GatherResult
 from repro.core.deployment import Deployment

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.experiments.runner import APPROACHES, ExperimentResult, ExperimentRunner
+from repro.experiments.runner import ExperimentResult, ExperimentRunner
 from repro.workloads.scenarios import (
     Scenario,
     cluster_heterogeneous,

@@ -8,6 +8,8 @@ matching-delay model, an output-bandwidth limiter, and the CBC
 profiling component that feeds CROC's Phase 1.
 """
 
+from __future__ import annotations
+
 from repro.pubsub.client import DualClient, PublisherClient, SubscriberClient
 from repro.pubsub.delay_estimation import DelayModelEstimator
 from repro.pubsub.message import Advertisement, Publication, Subscription

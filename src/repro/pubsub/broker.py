@@ -26,7 +26,7 @@ quantities CROC reasons about:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, Set, Tuple
 
 from repro.core.capacity import BrokerSpec
 from repro.pubsub.cbc import CrocBackendComponent

@@ -12,8 +12,8 @@ is how CROC executes client migration.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, List, Optional
 
 from repro.pubsub.message import (
     Advertisement,

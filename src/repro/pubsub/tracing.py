@@ -17,8 +17,8 @@ Example::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Set
 
 #: Event kinds in causal order of a publication's life.
 PUBLISH = "publish"

@@ -8,6 +8,8 @@ randomness flows through seeded generators so every experiment is
 exactly reproducible.
 """
 
+from __future__ import annotations
+
 from repro.sim.engine import Event, Simulator
 from repro.sim.rng import SeededRng, derive_seed
 

@@ -1,0 +1,43 @@
+"""Repo-specific correctness tooling.
+
+:mod:`repro.tools.lint` (``python -m repro.tools.lint``) is *reprolint*,
+an AST-based static-analysis pass enforcing the invariants the
+reproduction's headline numbers depend on:
+
+* **determinism** — all randomness flows through
+  :class:`repro.sim.rng.SeededRng`, and no wall-clock reads leak into
+  the allocator, simulator, or workload paths;
+* **unit-safety** — float-typed capacity/bandwidth/rate quantities are
+  never compared with ``==``/``!=``; the tolerance helpers in
+  :mod:`repro.core.units` are mandatory;
+* **interchangeability** — every allocator registered in
+  :mod:`repro.core` keeps the common ``allocate(units, pool,
+  directory)`` signature so schemes stay swappable in experiments.
+
+See the "Static analysis & invariants" section of the README for the
+full rule list and the suppression syntax.
+"""
+
+from __future__ import annotations
+
+from repro.tools.engine import (
+    Finding,
+    LintError,
+    Module,
+    Rule,
+    all_rules,
+    lint_paths,
+    lint_source,
+    rule,
+)
+
+__all__ = [
+    "Finding",
+    "LintError",
+    "Module",
+    "Rule",
+    "all_rules",
+    "lint_paths",
+    "lint_source",
+    "rule",
+]

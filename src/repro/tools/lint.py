@@ -1,0 +1,98 @@
+"""``python -m repro.tools.lint`` — the *reprolint* command line.
+
+Usage::
+
+    python -m repro.tools.lint [PATH ...] [--format text|json]
+                               [--select RULE[,RULE...]] [--list-rules]
+
+Exit codes: 0 — clean; 1 — findings reported; 2 — usage, I/O, or
+parse error.  Default target is ``src`` when run from the repo root.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.tools.engine import LintError, all_rules, lint_paths, resolve_rules
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_ERROR = 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.lint",
+        description="reprolint — determinism, unit-safety, and allocation invariants",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src, else the cwd)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULE[,RULE...]",
+        help="run only the named rules",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def _default_paths() -> List[str]:
+    return ["src"] if Path("src").is_dir() else ["."]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        for rule_ in all_rules():
+            print(f"{rule_.name:22s} {rule_.summary}")
+        return EXIT_CLEAN
+
+    try:
+        selected = resolve_rules(
+            options.select.split(",") if options.select else None
+        )
+        findings, checked = lint_paths(options.paths or _default_paths(), selected)
+    except LintError as exc:
+        print(f"reprolint: error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+
+    if options.format == "json":
+        print(
+            json.dumps(
+                {
+                    "checked_files": checked,
+                    "rules": [rule_.name for rule_ in selected],
+                    "findings": [finding.to_dict() for finding in findings],
+                },
+                indent=2,
+            )
+        )
+    else:
+        for finding in findings:
+            print(finding)
+        status = "clean" if not findings else f"{len(findings)} finding(s)"
+        print(f"reprolint: {checked} file(s) checked, {status}")
+    return EXIT_FINDINGS if findings else EXIT_CLEAN
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,347 @@
+"""The built-in *reprolint* rules.
+
+Each rule guards one invariant the reproduction's results depend on
+(determinism, unit-safety, allocator interchangeability) or one Python
+footgun that has historically produced irreproducible numbers
+elsewhere (mutable defaults, bare excepts).  Rules are deliberately
+repo-specific: they know the package layout (``core/``, ``sim/``,
+``workloads/``) and the sanctioned escape hatches
+(:mod:`repro.sim.rng`, the tolerance helpers in
+:mod:`repro.core.units`).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set, Tuple
+
+from repro.tools.engine import Finding, Module, rule
+
+# ----------------------------------------------------------------------
+# Shared AST helpers
+# ----------------------------------------------------------------------
+
+
+def _dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _identifier_tokens(node: ast.AST) -> Set[str]:
+    """Lower-cased underscore-split tokens of a Name/Attribute operand."""
+    if isinstance(node, ast.Attribute):
+        terminal = node.attr
+    elif isinstance(node, ast.Name):
+        terminal = node.id
+    else:
+        return set()
+    return {token for token in terminal.lower().split("_") if token}
+
+
+# ----------------------------------------------------------------------
+# Rule 1 — determinism: all randomness flows through SeededRng
+# ----------------------------------------------------------------------
+
+#: The one module allowed to touch the stdlib RNG.
+_RNG_HOME = ("sim", "rng.py")
+
+
+@rule(
+    "unmanaged-random",
+    "random / numpy.random may only be used inside sim/rng.py; draw from SeededRng",
+)
+def check_unmanaged_random(module: Module) -> Iterator[Finding]:
+    if module.is_module(*_RNG_HOME):
+        return
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random" or alias.name.startswith("numpy.random"):
+                    yield module.finding(
+                        node,
+                        "unmanaged-random",
+                        f"import of {alias.name!r} outside sim/rng.py; "
+                        "route randomness through repro.sim.rng.SeededRng",
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            source = node.module or ""
+            imports_random = source in ("random", "numpy.random") or (
+                source == "numpy"
+                and any(alias.name == "random" for alias in node.names)
+            )
+            if imports_random:
+                yield module.finding(
+                    node,
+                    "unmanaged-random",
+                    f"import from {source!r} outside sim/rng.py; "
+                    "route randomness through repro.sim.rng.SeededRng",
+                )
+        elif isinstance(node, ast.Attribute) and node.attr == "random":
+            if isinstance(node.value, ast.Name) and node.value.id in ("numpy", "np"):
+                yield module.finding(
+                    node,
+                    "unmanaged-random",
+                    "numpy.random accessed outside sim/rng.py; "
+                    "route randomness through repro.sim.rng.SeededRng",
+                )
+
+
+# ----------------------------------------------------------------------
+# Rule 2 — determinism: no wall-clock reads in replayable paths
+# ----------------------------------------------------------------------
+
+#: Dotted call targets that read the wall clock.  Monotonic timers
+#: (``time.perf_counter``) stay legal: they feed measurement stats, not
+#: simulation state.
+_WALL_CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+    "date.today",
+}
+
+#: Subpackages whose behaviour must be a pure function of (config, seed).
+_REPLAYABLE_PACKAGES = ("core", "sim", "workloads")
+
+
+@rule(
+    "wall-clock",
+    "no time.time()/datetime.now() in core/, sim/, or workloads/ — wall clock breaks replay",
+)
+def check_wall_clock(module: Module) -> Iterator[Finding]:
+    if not module.in_package(*_REPLAYABLE_PACKAGES):
+        return
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = _dotted_name(node.func)
+        if dotted in _WALL_CLOCK_CALLS:
+            yield module.finding(
+                node,
+                "wall-clock",
+                f"{dotted}() reads the wall clock; replayable paths must derive "
+                "time from the simulator clock or an explicit base date "
+                "(see workloads/stocks.py)",
+            )
+
+
+# ----------------------------------------------------------------------
+# Rule 3 — unit-safety: no exact equality on float-typed quantities
+# ----------------------------------------------------------------------
+
+#: Identifier tokens that mark a float-typed physical quantity.
+_UNIT_TOKENS = {
+    "bandwidth",
+    "rate",
+    "capacity",
+    "utilization",
+    "closeness",
+    "tolerance",
+    "epsilon",
+}
+
+
+def _is_unit_operand(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return True
+    return bool(_identifier_tokens(node) & _UNIT_TOKENS)
+
+
+@rule(
+    "float-equality",
+    "no ==/!= on float capacity/bandwidth/rate expressions; use "
+    "approx_eq/approx_zero from repro.core.units",
+)
+def check_float_equality(module: Module) -> Iterator[Finding]:
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            if _is_unit_operand(left) or _is_unit_operand(right):
+                yield module.finding(
+                    node,
+                    "float-equality",
+                    "exact ==/!= on a float-typed quantity; use the tolerance "
+                    "helpers in repro.core.units (approx_eq, approx_zero)",
+                )
+                break
+
+
+# ----------------------------------------------------------------------
+# Rule 4 — no mutable default arguments
+# ----------------------------------------------------------------------
+
+_MUTABLE_CALLS = {"list", "dict", "set", "bytearray"}
+_MUTABLE_ATTR_CALLS = {"defaultdict", "OrderedDict", "Counter", "deque"}
+
+
+def _is_mutable_default(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name):
+            return node.func.id in _MUTABLE_CALLS | _MUTABLE_ATTR_CALLS
+        if isinstance(node.func, ast.Attribute):
+            return node.func.attr in _MUTABLE_ATTR_CALLS
+    return False
+
+
+@rule("mutable-default", "no mutable default arguments (shared across calls)")
+def check_mutable_default(module: Module) -> Iterator[Finding]:
+    for node in ast.walk(module.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        defaults = list(node.args.defaults) + [
+            default for default in node.args.kw_defaults if default is not None
+        ]
+        for default in defaults:
+            if _is_mutable_default(default):
+                name = getattr(node, "name", "<lambda>")
+                yield module.finding(
+                    default,
+                    "mutable-default",
+                    f"mutable default argument in {name!r}; default to None "
+                    "and construct inside the function",
+                )
+
+
+# ----------------------------------------------------------------------
+# Rule 5 — postponed annotations everywhere
+# ----------------------------------------------------------------------
+
+
+@rule(
+    "future-annotations",
+    "every repro module must start with `from __future__ import annotations`",
+)
+def check_future_annotations(module: Module) -> Iterator[Finding]:
+    if not module.tree.body:
+        return
+    for node in module.tree.body:
+        if (
+            isinstance(node, ast.ImportFrom)
+            and node.module == "__future__"
+            and any(alias.name == "annotations" for alias in node.names)
+        ):
+            return
+    yield module.finding(
+        1,
+        "future-annotations",
+        "missing `from __future__ import annotations` "
+        "(keeps annotations lazy and forward-reference-safe)",
+    )
+
+
+# ----------------------------------------------------------------------
+# Rule 6 — public core functions carry return annotations
+# ----------------------------------------------------------------------
+
+
+def _public_functions(
+    module: Module,
+) -> Iterator[Tuple[ast.AST, str]]:
+    """Module-level and class-body functions with public names.
+
+    Nested closures are an implementation detail and are skipped.
+    """
+
+    def from_body(body: list) -> Iterator[Tuple[ast.AST, str]]:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if not node.name.startswith("_"):
+                    yield node, node.name
+            elif isinstance(node, ast.ClassDef):
+                yield from from_body(node.body)
+
+    yield from from_body(module.tree.body)
+
+
+@rule(
+    "return-annotation",
+    "public functions in core/ must declare a return type",
+)
+def check_return_annotation(module: Module) -> Iterator[Finding]:
+    if not module.in_package("core"):
+        return
+    for node, name in _public_functions(module):
+        if getattr(node, "returns", None) is None:
+            yield module.finding(
+                node,
+                "return-annotation",
+                f"public core function {name!r} has no return annotation",
+            )
+
+
+# ----------------------------------------------------------------------
+# Rule 7 — no bare except
+# ----------------------------------------------------------------------
+
+
+@rule("bare-except", "no bare `except:` — it swallows KeyboardInterrupt and typos alike")
+def check_bare_except(module: Module) -> Iterator[Finding]:
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.ExceptHandler) and node.type is None:
+            yield module.finding(
+                node,
+                "bare-except",
+                "bare `except:`; catch a specific exception "
+                "(or `Exception` at the very least)",
+            )
+
+
+# ----------------------------------------------------------------------
+# Rule 8 — allocators stay interchangeable
+# ----------------------------------------------------------------------
+
+#: The common allocator entry-point signature every scheme must keep so
+#: experiments can swap allocators by name (see experiments.runner).
+_ALLOCATE_PARAMS = ("self", "units", "pool", "directory")
+
+
+@rule(
+    "allocator-signature",
+    "core allocator classes must keep allocate(self, units, pool, directory)",
+)
+def check_allocator_signature(module: Module) -> Iterator[Finding]:
+    if not module.in_package("core"):
+        return
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        for item in node.body:
+            if (
+                isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and item.name == "allocate"
+            ):
+                args = item.args
+                names = tuple(arg.arg for arg in args.posonlyargs + args.args)
+                irregular = (
+                    names != _ALLOCATE_PARAMS
+                    or args.vararg is not None
+                    or args.kwarg is not None
+                    or args.kwonlyargs
+                )
+                if irregular:
+                    yield module.finding(
+                        item,
+                        "allocator-signature",
+                        f"{node.name}.allocate has signature {names}; the "
+                        "interchangeable-scheme contract is "
+                        "allocate(self, units, pool, directory)",
+                    )

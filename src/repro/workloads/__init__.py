@@ -1,5 +1,7 @@
 """Workload generation: stock-quote feeds, subscriptions, scenarios."""
 
+from __future__ import annotations
+
 from repro.workloads import monitoring, scenarios
 from repro.workloads.offline import offline_gather
 from repro.workloads.stocks import STOCK_SYMBOLS, StockQuoteFeed, stock_advertisement

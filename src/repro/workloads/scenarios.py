@@ -23,9 +23,8 @@ behind an environment flag (see benchmarks/README inside each module).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import List, Tuple
 
 from repro.core.capacity import BrokerSpec, MatchingDelayFunction
 from repro.workloads.stocks import STOCK_SYMBOLS

@@ -1,0 +1,286 @@
+"""reprolint: one focused test per rule, plus engine/CLI behaviour.
+
+Each rule gets three fixtures: a positive hit, a clean pass, and the
+positive hit silenced by a suppression comment.  A final test asserts
+the real ``src`` tree lints clean, which is what CI enforces.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.tools.engine import (
+    LintError,
+    Module,
+    all_rules,
+    lint_paths,
+    lint_source,
+    resolve_rules,
+)
+from repro.tools.lint import main
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+CORE = "src/repro/core/fixture.py"
+SIM = "src/repro/sim/fixture.py"
+WORKLOADS = "src/repro/workloads/fixture.py"
+EXPERIMENTS = "src/repro/experiments/fixture.py"
+
+#: rule -> (bad source, virtual path, clean source, suppressed source).
+RULE_CASES = {
+    "unmanaged-random": (
+        "import random\n",
+        WORKLOADS,
+        "from repro.sim.rng import SeededRng\n",
+        "import random  # reprolint: disable=unmanaged-random\n",
+    ),
+    "wall-clock": (
+        "import time\n\ndef stamp():\n    return time.time()\n",
+        CORE,
+        "import time\n\ndef stamp():\n    return time.perf_counter()\n",
+        "import time\n\ndef stamp():\n    return time.time()  # reprolint: disable=wall-clock\n",
+    ),
+    "float-equality": (
+        "def idle(input_rate):\n    return input_rate == 0\n",
+        CORE,
+        "def idle(count):\n    return count == 0\n",
+        "def idle(input_rate):\n"
+        "    return input_rate == 0  # reprolint: disable=float-equality\n",
+    ),
+    "mutable-default": (
+        "def gather(into=[]):\n    return into\n",
+        CORE,
+        "def gather(into=None):\n    return into or []\n",
+        "def gather(into=[]):  # reprolint: disable=mutable-default\n    return into\n",
+    ),
+    "future-annotations": (
+        "x = 1\n",
+        CORE,
+        "from __future__ import annotations\n\nx = 1\n",
+        "x = 1  # reprolint: disable=future-annotations\n",
+    ),
+    "return-annotation": (
+        "def topology():\n    return None\n",
+        CORE,
+        "def topology() -> None:\n    return None\n",
+        "def topology():  # reprolint: disable=return-annotation\n    return None\n",
+    ),
+    "bare-except": (
+        "try:\n    x = 1\nexcept:\n    pass\n",
+        CORE,
+        "try:\n    x = 1\nexcept ValueError:\n    pass\n",
+        "try:\n    x = 1\nexcept:  # reprolint: disable=bare-except\n    pass\n",
+    ),
+    "allocator-signature": (
+        "class GreedyAllocator:\n"
+        "    def allocate(self, units, brokers):\n"
+        "        return None\n",
+        CORE,
+        "class GreedyAllocator:\n"
+        "    def allocate(self, units, pool, directory):\n"
+        "        return None  # reprolint: disable=return-annotation\n",
+        "class GreedyAllocator:\n"
+        "    def allocate(self, units, brokers):  # reprolint: disable=allocator-signature\n"
+        "        return None\n",
+    ),
+}
+
+
+def findings_for(rule_name, source, path):
+    rules = resolve_rules([rule_name])
+    return lint_source(source, path=path, rules=rules)
+
+
+@pytest.mark.parametrize("rule_name", sorted(RULE_CASES))
+def test_rule_positive_hit(rule_name):
+    bad, path, _clean, _suppressed = RULE_CASES[rule_name]
+    findings = findings_for(rule_name, bad, path)
+    assert findings, f"{rule_name} missed its fixture violation"
+    assert all(finding.rule == rule_name for finding in findings)
+
+
+@pytest.mark.parametrize("rule_name", sorted(RULE_CASES))
+def test_rule_clean_pass(rule_name):
+    _bad, path, clean, _suppressed = RULE_CASES[rule_name]
+    assert findings_for(rule_name, clean, path) == []
+
+
+@pytest.mark.parametrize("rule_name", sorted(RULE_CASES))
+def test_rule_suppression_comment(rule_name):
+    _bad, path, _clean, suppressed = RULE_CASES[rule_name]
+    assert findings_for(rule_name, suppressed, path) == []
+
+
+# ----------------------------------------------------------------------
+# Rule-specific edges
+# ----------------------------------------------------------------------
+
+
+def test_unmanaged_random_allows_sim_rng_itself():
+    assert findings_for("unmanaged-random", "import random\n", "src/repro/sim/rng.py") == []
+
+
+def test_unmanaged_random_catches_numpy_forms():
+    for source in (
+        "import numpy.random\n",
+        "from numpy import random\n",
+        "import numpy as np\n\nnp.random.seed(1)\n",
+    ):
+        assert findings_for("unmanaged-random", source, CORE), source
+
+
+def test_wall_clock_scoped_to_replayable_packages():
+    source = "import time\n\ndef stamp():\n    return time.time()\n"
+    assert findings_for("wall-clock", source, EXPERIMENTS) == []
+    for path in (CORE, SIM, WORKLOADS):
+        assert findings_for("wall-clock", source, path), path
+
+
+def test_wall_clock_catches_datetime_now():
+    source = "import datetime\n\ndef stamp():\n    return datetime.datetime.now()\n"
+    assert findings_for("wall-clock", source, WORKLOADS)
+
+
+def test_float_equality_flags_float_literals():
+    assert findings_for("float-equality", "ok = value == 0.0\n", EXPERIMENTS)
+
+
+def test_float_equality_ignores_orderings():
+    source = "def fits(rate, max_rate):\n    return rate <= max_rate\n"
+    assert findings_for("float-equality", source, CORE) == []
+
+
+def test_return_annotation_only_in_core():
+    source = "def topology():\n    return None\n"
+    assert findings_for("return-annotation", source, EXPERIMENTS) == []
+    assert findings_for("return-annotation", "def _private():\n    pass\n", CORE) == []
+
+
+def test_allocator_signature_accepts_repo_allocators():
+    source = (
+        "class FbfAllocator:\n"
+        "    def allocate(self, units, pool, directory):\n"
+        "        return None\n"
+    )
+    findings = findings_for("allocator-signature", source, CORE)
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# Engine behaviour
+# ----------------------------------------------------------------------
+
+
+def test_disable_file_suppresses_everywhere():
+    source = (
+        "# reprolint: disable-file=bare-except\n"
+        "try:\n    x = 1\nexcept:\n    pass\n"
+        "try:\n    y = 2\nexcept:\n    pass\n"
+    )
+    assert findings_for("bare-except", source, CORE) == []
+
+
+def test_disable_all_suppresses_every_rule():
+    source = "import random  # reprolint: disable=all\n"
+    assert lint_source(source, path=WORKLOADS, rules=resolve_rules(["unmanaged-random"])) == []
+
+
+def test_unknown_rule_selection_raises():
+    with pytest.raises(LintError):
+        resolve_rules(["no-such-rule"])
+
+
+def test_registry_has_the_eight_rules():
+    names = {rule.name for rule in all_rules()}
+    assert names == set(RULE_CASES)
+
+
+def test_module_package_parts_fallback():
+    module = Module("x = 1\n", "fixture.py")
+    assert module.package_parts == ("fixture.py",)
+    assert not module.in_package("core")
+
+
+def test_findings_sorted_and_located():
+    source = "import random\n\n\ndef gather(into=[]):\n    return into\n"
+    findings = lint_source(
+        source,
+        path=WORKLOADS,
+        rules=resolve_rules(["unmanaged-random", "mutable-default"]),
+    )
+    assert [finding.rule for finding in findings] == ["unmanaged-random", "mutable-default"]
+    assert findings[0].line == 1 and findings[1].line == 4
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+
+def write_fixture(tmp_path, name, source):
+    target = tmp_path / name
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(source)
+    return target
+
+
+def test_cli_exits_nonzero_per_rule(tmp_path, capsys):
+    for index, (rule_name, case) in enumerate(sorted(RULE_CASES.items())):
+        bad, path, _clean, _suppressed = case
+        target = write_fixture(tmp_path / str(index), path, bad)
+        code = main([str(target), "--select", rule_name])
+        out = capsys.readouterr().out
+        assert code == 1, rule_name
+        assert rule_name in out
+
+
+def test_cli_clean_file_exits_zero(tmp_path, capsys):
+    target = write_fixture(
+        tmp_path, "clean.py", "from __future__ import annotations\n\nx = 1\n"
+    )
+    assert main([str(target)]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_cli_json_output(tmp_path, capsys):
+    target = write_fixture(tmp_path, CORE, "import random\nx = 1\n")
+    code = main([str(target), "--format", "json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert payload["checked_files"] == 1
+    assert {finding["rule"] for finding in payload["findings"]} == {
+        "unmanaged-random",
+        "future-annotations",
+    }
+    assert all(finding["line"] >= 1 for finding in payload["findings"])
+
+
+def test_cli_missing_path_is_usage_error(tmp_path, capsys):
+    assert main([str(tmp_path / "nope.py")]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_cli_unknown_rule_is_usage_error(capsys):
+    assert main(["--select", "bogus", str(REPO_ROOT / "src")]) == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_cli_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_name in RULE_CASES:
+        assert rule_name in out
+
+
+# ----------------------------------------------------------------------
+# The repository itself must lint clean
+# ----------------------------------------------------------------------
+
+
+def test_src_tree_lints_clean():
+    findings, checked = lint_paths([REPO_ROOT / "src"])
+    assert checked > 50
+    assert findings == [], "\n".join(str(finding) for finding in findings)
