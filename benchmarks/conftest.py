@@ -20,12 +20,24 @@ REPRO_BENCH_SUBS       12,25      subscriptions-per-publisher sweep
                                   (paper: 50,100,150,200)
 REPRO_BENCH_SCINET     0.08       scale for the SciNet scenarios
 REPRO_BENCH_SEED       2011       master seed
+REPRO_BENCH_OUT        .          directory for ``BENCH_<suite>.json`` files
 =====================  =========  ==========================================
+
+Machine-readable trajectory
+---------------------------
+Besides printing the aligned tables, every figure is recorded as JSON:
+:func:`print_figure` (and :func:`record_bench` for suites with extra
+payload) append rows to an in-memory registry that a session-scoped
+fixture flushes to ``BENCH_<suite>.json`` under ``REPRO_BENCH_OUT``.
+Each file carries the scenario knobs active for the run, so a CI
+artifact is enough to reconstruct what was measured.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import re
 from typing import Dict, List, Tuple
 
 import pytest
@@ -39,6 +51,7 @@ BENCH_SUBS = tuple(
 )
 SCINET_SCALE = float(os.environ.get("REPRO_BENCH_SCINET", "0.08"))
 BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "2011"))
+BENCH_OUT = os.environ.get("REPRO_BENCH_OUT", ".")
 
 #: The paper's ten approaches, in its presentation order.
 ALL_APPROACHES = (
@@ -69,8 +82,61 @@ def run_matrix(
     return results
 
 
+# suite key -> {"title", "rows", "extra"}; flushed to BENCH_<suite>.json
+_RECORDED: Dict[str, dict] = {}
+
+
+def _knobs() -> dict:
+    return {
+        "scale": BENCH_SCALE,
+        "subscriptions_per_publisher": list(BENCH_SUBS),
+        "scinet_scale": SCINET_SCALE,
+        "seed": BENCH_SEED,
+    }
+
+
+def record_bench(suite: str, rows: List[dict], title: str = "", **extra) -> None:
+    """Register a figure's rows for the machine-readable trajectory.
+
+    ``suite`` becomes the file name (``BENCH_<suite>.json``); repeated
+    calls for one suite extend its row list (sweep tests record one row
+    batch per cell).  ``extra`` key/values land next to the rows —
+    suites use it for derived aggregates (e.g. speedup ratios).
+    """
+    suite = re.sub(r"[^A-Za-z0-9._-]+", "-", suite.strip()) or "untitled"
+    entry = _RECORDED.setdefault(
+        suite, {"title": title, "rows": [], "extra": {}}
+    )
+    if title and not entry["title"]:
+        entry["title"] = title
+    entry["rows"].extend(rows)
+    entry["extra"].update(extra)
+
+
 def print_figure(title: str, rows: List[dict], columns=None) -> None:
     from repro.experiments.report import format_rows
 
+    # The title's leading "<figure-key>:" names the suite file.
+    record_bench(title.split(":", 1)[0], rows, title=title)
     print(f"\n=== {title} ===")
     print(format_rows(rows, columns=columns))
+
+
+@pytest.fixture(scope="session", autouse=True)
+def bench_trajectory():
+    """Flush every recorded suite to ``BENCH_<suite>.json`` on exit."""
+    yield
+    os.makedirs(BENCH_OUT, exist_ok=True)
+    for suite, entry in sorted(_RECORDED.items()):
+        payload = {
+            "suite": suite,
+            "title": entry["title"],
+            "knobs": _knobs(),
+            "rows": entry["rows"],
+        }
+        payload.update(entry["extra"])
+        path = os.path.join(BENCH_OUT, f"BENCH_{suite}.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"[bench-trajectory] wrote {path} ({len(entry['rows'])} rows)")

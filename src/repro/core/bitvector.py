@@ -25,17 +25,9 @@ publish/subscribe language and the workload distribution.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Tuple
+from typing import Iterable, Iterator, List, Optional, Tuple
 
 DEFAULT_CAPACITY = 1280
-
-
-def _bit_count(value: int) -> int:
-    """Population count compatible with Python < 3.10."""
-    try:
-        return value.bit_count()  # type: ignore[attr-defined]
-    except AttributeError:  # pragma: no cover - Python < 3.10 fallback
-        return bin(value).count("1")
 
 
 class BitVector:
@@ -50,7 +42,7 @@ class BitVector:
         Message ID corresponding to bit index 0.
     """
 
-    __slots__ = ("_capacity", "_first_id", "_bits")
+    __slots__ = ("_capacity", "_first_id", "_bits", "_card")
 
     def __init__(self, capacity: int = DEFAULT_CAPACITY, first_id: int = 0):
         if capacity <= 0:
@@ -60,6 +52,7 @@ class BitVector:
         self._capacity = capacity
         self._first_id = first_id
         self._bits = 0
+        self._card: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -81,6 +74,7 @@ class BitVector:
     def copy(self) -> "BitVector":
         clone = BitVector(self._capacity, self._first_id)
         clone._bits = self._bits
+        clone._card = self._card
         return clone
 
     # ------------------------------------------------------------------
@@ -103,7 +97,9 @@ class BitVector:
     @property
     def cardinality(self) -> int:
         """Number of set bits, i.e. publications received in-window."""
-        return _bit_count(self._bits)
+        if self._card is None:
+            self._card = self._bits.bit_count()
+        return self._card
 
     def __len__(self) -> int:
         return self._capacity
@@ -130,6 +126,7 @@ class BitVector:
             self._advance(shift)
             offset = self._capacity - 1
         self._bits |= 1 << offset
+        self._card = None
         return True
 
     def synchronize(self, last_message_id: int) -> None:
@@ -150,6 +147,7 @@ class BitVector:
             self._bits = 0
         else:
             self._bits >>= shift
+        self._card = None
         self._first_id += shift
 
     # ------------------------------------------------------------------
@@ -179,6 +177,23 @@ class BitVector:
     def density(self) -> float:
         """Fraction of the capacity window that is set."""
         return self.cardinality / self._capacity
+
+    def raw_bits(self) -> int:
+        """The window's bit pattern as an int (bit i ↔ ``first_id + i``).
+
+        Exposed for the fused bit-plane kernel, which ORs aligned
+        vectors into one contiguous integer.
+        """
+        return self._bits
+
+    def load_bits(self, bits: int) -> None:
+        """Overwrite the bit pattern in place (kernel reconstruction).
+
+        ``bits`` must fit the capacity window; callers are expected to
+        have masked it already.
+        """
+        self._bits = bits
+        self._card = None
 
     # ------------------------------------------------------------------
     # Aligned binary operations
@@ -219,15 +234,27 @@ class BitVector:
 
     def intersection_cardinality(self, other: "BitVector") -> int:
         _f, _c, mine, theirs = self._aligned_with(other)
-        return _bit_count(mine & theirs)
+        return (mine & theirs).bit_count()
 
     def union_cardinality(self, other: "BitVector") -> int:
         _f, _c, mine, theirs = self._aligned_with(other)
-        return _bit_count(mine | theirs)
+        return (mine | theirs).bit_count()
 
     def xor_cardinality(self, other: "BitVector") -> int:
         _f, _c, mine, theirs = self._aligned_with(other)
-        return _bit_count(mine ^ theirs)
+        return (mine ^ theirs).bit_count()
+
+    def fused_cardinalities(self, other: "BitVector") -> Tuple[int, int, int]:
+        """``(|∩|, |∪|, |⊕|)`` from a single window alignment.
+
+        One ``_aligned_with`` pass feeds all three popcounts, so callers
+        that need several counts (the XOR closeness metric, the fused
+        kernel's fallback path) pay the big-int shifts only once.
+        """
+        _f, _c, mine, theirs = self._aligned_with(other)
+        intersect = (mine & theirs).bit_count()
+        union = (mine | theirs).bit_count()
+        return intersect, union, union - intersect
 
     def covers(self, other: "BitVector") -> bool:
         """Whether every bit set in ``other`` is also set here."""
@@ -253,12 +280,9 @@ class BitVector:
         group equal subscriptions into GIFs (CRAM optimization 1).
         """
         bits = self._bits
-        first = self._first_id
         if bits:
-            while not bits & 1:
-                bits >>= 1
-                first += 1
-            return (first, bits)
+            trailing = (bits & -bits).bit_length() - 1
+            return (self._first_id + trailing, bits >> trailing)
         return (0, 0)
 
     def __eq__(self, other: object) -> bool:

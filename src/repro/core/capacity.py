@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.bitvector import BitVector
+from repro.core.kernel import ClosenessKernel, PackedProfile
 from repro.core.profiles import PublisherDirectory
 from repro.core.units import AllocationUnit, approx_le
 
@@ -84,9 +85,17 @@ class BrokerBin:
         "input_rate",
         "_adv_vectors",
         "_adv_cardinality",
+        "_kernel",
+        "_packed_mode",
+        "_packed_bits",
     )
 
-    def __init__(self, spec: BrokerSpec, directory: PublisherDirectory):
+    def __init__(
+        self,
+        spec: BrokerSpec,
+        directory: PublisherDirectory,
+        kernel: Optional[ClosenessKernel] = None,
+    ):
         self.spec = spec
         self._directory = directory
         self.units: List[AllocationUnit] = []
@@ -95,6 +104,37 @@ class BrokerBin:
         self.input_rate = 0.0
         self._adv_vectors: Dict[str, BitVector] = {}
         self._adv_cardinality: Dict[str, int] = {}
+        # With a fused kernel the per-publisher union is one packed
+        # integer; the bin demotes itself to the naive dict-of-vectors
+        # path the moment a unit arrives that the kernel cannot pack.
+        self._kernel = kernel
+        self._packed_mode = kernel is not None
+        self._packed_bits = 0
+
+    @classmethod
+    def from_packed_state(
+        cls,
+        spec: BrokerSpec,
+        directory: PublisherDirectory,
+        kernel: ClosenessKernel,
+        units: List[AllocationUnit],
+        used_bandwidth: float,
+        subscription_count: int,
+        input_rate: float,
+        packed_bits: int,
+    ) -> "BrokerBin":
+        """Materialize a bin from the flat packed first-fit loop's state.
+
+        The result is indistinguishable from a bin filled one
+        :meth:`add` at a time with the same kernel.
+        """
+        bin_ = cls(spec, directory, kernel=kernel)
+        bin_.units = units
+        bin_.used_bandwidth = used_bandwidth
+        bin_.subscription_count = subscription_count
+        bin_.input_rate = input_rate
+        bin_._packed_bits = packed_bits
+        return bin_
 
     # ------------------------------------------------------------------
     # Derived quantities
@@ -126,6 +166,27 @@ class BrokerBin:
         Only the publications *not already flowing* to the broker add
         input load — the per-publisher union captures that.
         """
+        if self._packed_mode:
+            # Packed fast path — the single hottest call of a CRAM
+            # run's thousands of binpack probes.  The packed form is
+            # cached on the unit itself (keyed by kernel identity); a
+            # unit that cannot pack purely demotes the bin to the naive
+            # union path for good, since mixing packed and naive union
+            # state would break the exact-equivalence guarantee.
+            kernel = self._kernel
+            hint = unit.pack_hint
+            if hint is not None and hint[0] is kernel:
+                packed = hint[1]
+            else:
+                packed = kernel.pack(unit.profile)  # type: ignore[union-attr]
+                unit.pack_hint = (kernel, packed)  # type: ignore[assignment]
+            if packed.pure:
+                bin_bits = self._packed_bits
+                value = packed.rate_memo.get(bin_bits)
+                if value is None:
+                    value = packed.rate_increase(bin_bits)
+                return value
+            self._demote()
         increase = 0.0
         for adv_id, vector in unit.profile.items():
             if not vector:
@@ -148,6 +209,29 @@ class BrokerBin:
         return increase
 
     # ------------------------------------------------------------------
+    # Fused-kernel fast path
+    # ------------------------------------------------------------------
+    def _demote(self) -> None:
+        """Materialize the naive per-publisher union from packed bits.
+
+        Called once, when a unit that the kernel cannot pack reaches a
+        packed bin; afterwards the bin behaves exactly like one built
+        without a kernel.
+        """
+        assert self._kernel is not None
+        bits = self._packed_bits
+        for adv_id, plane in self._kernel.layout.planes.items():
+            plane_bits = (bits >> plane.offset) & plane.mask
+            if not plane_bits:
+                continue
+            vector = BitVector(capacity=plane.capacity, first_id=plane.first_id)
+            vector.load_bits(plane_bits)
+            self._adv_vectors[adv_id] = vector
+            self._adv_cardinality[adv_id] = vector.cardinality
+        self._packed_mode = False
+        self._packed_bits = 0
+
+    # ------------------------------------------------------------------
     # Feasibility and mutation
     # ------------------------------------------------------------------
     def can_accept(self, unit: AllocationUnit) -> bool:
@@ -158,22 +242,43 @@ class BrokerBin:
         ):
             return False
         subscription_count = self.subscription_count + unit.subscription_count
-        max_rate = self.spec.delay_function.max_matching_rate(subscription_count)
+        # Inlined ``delay_function.max_matching_rate`` (same arithmetic,
+        # same floats): the two-call chain showed up in CRAM profiles.
+        function = self.spec.delay_function
+        delay = function.base + function.per_subscription * subscription_count
+        max_rate = math.inf if delay <= 0 else 1.0 / delay
         return approx_le(self.input_rate + self._rate_increase(unit), max_rate)
 
     def add(self, unit: AllocationUnit) -> None:
         """Place ``unit`` on this broker (caller checked feasibility)."""
         self.input_rate += self._rate_increase(unit)
-        for adv_id, vector in unit.profile.items():
-            if not vector:
-                continue
-            current = self._adv_vectors.get(adv_id)
-            if current is None:
-                merged = vector.copy()
-            else:
-                merged = current.union(vector)
-            self._adv_vectors[adv_id] = merged
-            self._adv_cardinality[adv_id] = merged.cardinality
+        self._absorb(unit)
+
+    def _absorb(self, unit: AllocationUnit) -> None:
+        """Fold ``unit`` into the per-publisher union and bookkeeping."""
+        absorbed = False
+        if self._packed_mode:
+            # ``_rate_increase`` just ran: the hint is fresh and the
+            # bin stayed packed only if the unit's profile packs purely.
+            hint = unit.pack_hint
+            assert hint is not None and hint[0] is self._kernel
+            packed = hint[1]
+            if packed.pure:
+                self._packed_bits |= packed.bits
+                absorbed = True
+            else:  # pragma: no cover - _rate_increase demotes first
+                self._demote()
+        if not absorbed:
+            for adv_id, vector in unit.profile.items():
+                if not vector:
+                    continue
+                current = self._adv_vectors.get(adv_id)
+                if current is None:
+                    merged = vector.copy()
+                else:
+                    merged = current.union(vector)
+                self._adv_vectors[adv_id] = merged
+                self._adv_cardinality[adv_id] = merged.cardinality
         self.units.append(unit)
         self.used_bandwidth += unit.delivery_bandwidth
         self.subscription_count += unit.subscription_count

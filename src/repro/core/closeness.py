@@ -25,9 +25,12 @@ first.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.profiles import SubscriptionProfile
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (kernel imports us)
+    from repro.core.kernel import ClosenessKernel
 
 #: Cap applied to the XOR metric when |S1 xor S2| == 0 (paper: "a capped
 #: maximum value to handle division by zero").  Any value larger than 1
@@ -84,10 +87,46 @@ class ClosenessMetric:
         self._function = function
         self.prunable = prunable
         self.evaluations = 0
+        self._kernel: Optional["ClosenessKernel"] = None
 
     def __call__(self, first: SubscriptionProfile, second: SubscriptionProfile) -> float:
         self.evaluations += 1
+        kernel = self._kernel
+        if kernel is not None:
+            return kernel.closeness(self.name, first, second)
         return self._function(first, second)
+
+    # ------------------------------------------------------------------
+    # Fused-kernel acceleration (drop-in: values and counters unchanged)
+    # ------------------------------------------------------------------
+    @property
+    def kernel(self) -> Optional["ClosenessKernel"]:
+        return self._kernel
+
+    def attach_kernel(self, kernel: Optional["ClosenessKernel"]) -> None:
+        """Route evaluations through a fused bit-plane kernel.
+
+        The kernel produces bit-for-bit identical values (it falls back
+        to the naive profile walk whenever a profile does not fit its
+        packed layout), so attaching one only changes speed.  Pass
+        ``None`` to detach.
+        """
+        self._kernel = kernel
+
+    def closeness_row(
+        self, first: SubscriptionProfile, others: Sequence[SubscriptionProfile]
+    ) -> List[float]:
+        """Batched one-vs-all closeness (CRAM partner search, pairwise).
+
+        Counts one evaluation per pair, exactly like ``len(others)``
+        individual calls.
+        """
+        self.evaluations += len(others)
+        kernel = self._kernel
+        if kernel is not None:
+            return kernel.closeness_row(self.name, first, others)
+        function = self._function
+        return [function(first, other) for other in others]
 
     def reset_counter(self) -> None:
         """Zero the evaluation counter (used by the pruning benchmark)."""

@@ -41,6 +41,7 @@ from repro.core.binpacking import BinPackingAllocator
 from repro.core.capacity import AllocationResult, BrokerSpec
 from repro.core.closeness import ClosenessMetric, make_metric
 from repro.core.gif import Gif, build_gifs
+from repro.core.kernel import ClosenessKernel, kernel_enabled
 from repro.core.poset import Poset
 from repro.core.profiles import PublisherDirectory, SubscriptionProfile
 from repro.core.relations import Relation, relationship
@@ -64,6 +65,11 @@ class CramStats:
     closeness_evaluations: int = 0
     initial_search_evaluations: int = 0
     binpack_runs: int = 0
+    # Fused-kernel diagnostics (all zero when the kernel is disabled).
+    kernel_used: bool = False
+    kernel_fused_evaluations: int = 0
+    kernel_memo_hits: int = 0
+    kernel_fallback_evaluations: int = 0
 
     @property
     def gif_reduction(self) -> float:
@@ -94,6 +100,13 @@ class CramAllocator:
         before giving up (the paper runs to exhaustion; the budget keeps
         XOR — which cannot prune empty relations — bounded in the
         benchmark harness).
+    use_kernel:
+        Tri-state opt-out of the fused bit-plane kernel
+        (:mod:`repro.core.kernel`): ``True``/``False`` force it on/off,
+        ``None`` (default) defers to the ``REPRO_CLOSENESS_KERNEL``
+        environment variable.  The kernel is value-exact, so this knob
+        only changes speed — it exists for benchmarking and as an
+        escape hatch.
     """
 
     def __init__(
@@ -104,6 +117,7 @@ class CramAllocator:
         enable_one_to_many: bool = True,
         failure_budget: Optional[int] = None,
         max_iterations: Optional[int] = None,
+        use_kernel: Optional[bool] = None,
     ):
         if isinstance(metric, str):
             metric = make_metric(metric)
@@ -113,6 +127,7 @@ class CramAllocator:
         self.enable_one_to_many = enable_one_to_many
         self.failure_budget = failure_budget
         self.max_iterations = max_iterations
+        self.use_kernel = use_kernel
         self.name = f"cram-{metric.name}"
         self.last_stats = CramStats()
         self._binpack = BinPackingAllocator()
@@ -135,6 +150,31 @@ class CramAllocator:
         self.last_stats = stats
         self.metric.reset_counter()
 
+        kernel: Optional[ClosenessKernel] = None
+        if kernel_enabled(self.use_kernel):
+            kernel = ClosenessKernel(directory, [unit.profile for unit in units])
+            stats.kernel_used = True
+        self.metric.attach_kernel(kernel)
+        self._binpack.kernel = kernel
+        try:
+            return self._clustering_run(units, pool, directory, stats, kernel)
+        finally:
+            if kernel is not None:
+                stats.kernel_fused_evaluations = kernel.fused_evaluations
+                stats.kernel_memo_hits = kernel.memo_hits
+                stats.kernel_fallback_evaluations = kernel.fallback_evaluations
+            self.metric.attach_kernel(None)
+            self._binpack.kernel = None
+
+    def _clustering_run(
+        self,
+        units: Sequence[AllocationUnit],
+        pool: List[BrokerSpec],
+        directory: PublisherDirectory,
+        stats: CramStats,
+        kernel: Optional[ClosenessKernel],
+    ) -> AllocationResult:
+        """The paper's clustering loop (kernel already attached)."""
         base = self._binpack.allocate(units, pool, directory)
         stats.binpack_runs += 1
         if not base.success:
@@ -150,6 +190,7 @@ class CramAllocator:
             enable_gif_grouping=self.enable_gif_grouping,
             enable_pruning=self.enable_pruning,
             stats=stats,
+            kernel=kernel,
         )
         stats.initial_gifs = len(state.gifs)
         state.refresh_partners()
@@ -302,7 +343,10 @@ class CramAllocator:
             remaining.pop(0)
         if not cgs or cgs_profile is None:
             return None
-        if self.metric(cgs_profile, parent.profile) <= pair_value:
+        cgs_value = self.metric(cgs_profile, parent.profile)
+        if state.kernel is not None:
+            state.kernel.forget(cgs_profile)  # ephemeral, like probe merges
+        if cgs_value <= pair_value:
             return None
         merge_units = [anchor] + [g.lightest_unit() for g in cgs]
         return state.try_merge(merge_units, sources=[parent] + cgs)
@@ -334,18 +378,21 @@ class _CramState:
         enable_gif_grouping: bool,
         enable_pruning: bool,
         stats: CramStats,
+        kernel: Optional[ClosenessKernel] = None,
     ):
         self.pool = list(pool)
         self.directory = directory
         self.metric = metric
         self.enable_pruning = enable_pruning
         self.stats = stats
+        self.kernel = kernel
         self._binpack = BinPackingAllocator()
+        self._binpack.kernel = kernel
         if enable_gif_grouping:
             self.gifs: List[Gif] = build_gifs(units)
         else:
             self.gifs = [Gif(unit.profile, [unit]) for unit in units]
-        self.poset = Poset()
+        self.poset = Poset(kernel=kernel)
         for gif in self.gifs:
             self.poset.insert(gif)
         self._by_signature: Dict[Tuple, Gif] = {
@@ -373,37 +420,54 @@ class _CramState:
         def symmetric_update(candidate: Gif, value: float) -> None:
             if value <= 0:
                 return
-            if frozenset((gif.gif_id, candidate.gif_id)) in self._blacklist:
+            blacklist = self._blacklist
+            if blacklist and frozenset((gif.gif_id, candidate.gif_id)) in blacklist:
                 return
             entry = self._entries.get(candidate.gif_id)
             if entry is not None and value > entry.value:
                 self._entries[candidate.gif_id] = _PartnerEntry(gif, value)
 
-        if self.enable_pruning:
+        if self.enable_pruning and self.metric.prunable:
             partner, value = self.poset.closest_partner(
                 gif, self.metric, self._blacklist, on_candidate=symmetric_update
             )
         else:
-            partner, value = self._exhaustive_partner(gif, symmetric_update)
+            # Non-prunable (XOR) or pruning disabled: the poset cannot
+            # skip anything, so scan the GIF list directly — same
+            # candidates in the same order, same evaluation count, but
+            # one flat loop instead of per-candidate callback hops.
+            partner, value = self._exhaustive_partner(gif)
         if partner is not None and value > best.value:
             best = _PartnerEntry(partner, value)
         return best
 
-    def _exhaustive_partner(self, gif: Gif, on_candidate) -> Tuple[Optional[Gif], float]:
-        """Ablation path: scan every GIF without poset pruning."""
+    def _exhaustive_partner(self, gif: Gif) -> Tuple[Optional[Gif], float]:
+        """Exhaustive partner scan with the symmetric update inlined.
+
+        The scan is one batched ``closeness_row`` call — same values
+        and evaluation count as per-candidate metric calls, but the
+        kernel (when attached) serves the whole row from packed bits
+        and its pair memo.  The loop body folds in exactly what
+        ``symmetric_update`` + the best-candidate test do.
+        """
         best_gif: Optional[Gif] = None
         best_value = 0.0
-        for other in self.gifs:
-            if other.gif_id == gif.gif_id:
+        gif_id = gif.gif_id
+        entries = self._entries
+        blacklist = self._blacklist
+        others = [other for other in self.gifs if other.gif_id != gif_id]
+        row = self.metric.closeness_row(gif.profile, [other.profile for other in others])
+        for other, value in zip(others, row):
+            if value <= 0:
                 continue
-            value = self.metric(gif.profile, other.profile)
-            on_candidate(other, value)
-            if frozenset((gif.gif_id, other.gif_id)) in self._blacklist:
+            if blacklist and frozenset((gif_id, other.gif_id)) in blacklist:
                 continue
+            entry = entries.get(other.gif_id)
+            if entry is not None and value > entry.value:
+                entries[other.gif_id] = _PartnerEntry(gif, value)
             if value > best_value or (
                 value == best_value
                 and best_gif is not None
-                and value > 0
                 and other.gif_id < best_gif.gif_id
             ):
                 best_gif = other
@@ -449,7 +513,9 @@ class _CramState:
     # Pool bookkeeping
     # ------------------------------------------------------------------
     def all_units(self) -> List[AllocationUnit]:
-        return [unit for gif in self.gifs if not gif.is_empty() for unit in gif.units]
+        # Empty GIFs contribute nothing to the inner loop, so no
+        # ``is_empty`` filter — this runs once per binpack probe.
+        return [unit for gif in self.gifs for unit in gif.units]
 
     def unit_count(self) -> int:
         return sum(gif.unit_count for gif in self.gifs)
@@ -458,7 +524,7 @@ class _CramState:
         self, merge_units: Sequence[AllocationUnit], sources: Sequence[Gif]
     ) -> Optional[AllocationResult]:
         """Test-allocate the pool with ``merge_units`` fused; no commit."""
-        merged = AllocationUnit.merged(list(merge_units), self.directory)
+        merged = AllocationUnit.merged(list(merge_units), self.directory, kernel=self.kernel)
         doomed = {unit.unit_id for unit in merge_units}
         pool_units = [
             unit for unit in self.all_units() if unit.unit_id not in doomed
@@ -466,6 +532,10 @@ class _CramState:
         pool_units.append(merged)
         result = self._binpack.allocate(pool_units, self.pool, self.directory)
         self.stats.binpack_runs += 1
+        if self.kernel is not None:
+            # The probe's merged profile is ephemeral (a commit builds a
+            # fresh one); drop its pack entry so probes don't accumulate.
+            self.kernel.forget(merged.profile)
         if not result.success:
             return None
         return result
@@ -486,7 +556,7 @@ class _CramState:
         result: AllocationResult,
     ) -> AllocationResult:
         """Apply a validated merge to the GIF pool and poset."""
-        merged = AllocationUnit.merged(list(merge_units), self.directory)
+        merged = AllocationUnit.merged(list(merge_units), self.directory, kernel=self.kernel)
         for gif in sources:
             gif.remove_units(merge_units)
             self._dirty.add(gif.gif_id)
@@ -509,6 +579,8 @@ class _CramState:
 
     def _retire(self, gif: Gif) -> None:
         """Remove an emptied GIF from every index."""
+        if self.kernel is not None:
+            self.kernel.forget(gif.profile)
         if gif in self.poset:
             self.poset.remove(gif)
         self._entries.pop(gif.gif_id, None)

@@ -16,7 +16,7 @@ moves units out into a new GIF keyed by the merged profile.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.profiles import SubscriptionProfile
 from repro.core.units import AllocationUnit
@@ -27,12 +27,13 @@ _gif_ids = itertools.count()
 class Gif:
     """A group of subscriptions sharing one bit-vector profile."""
 
-    __slots__ = ("gif_id", "profile", "units")
+    __slots__ = ("gif_id", "profile", "units", "_lightest")
 
     def __init__(self, profile: SubscriptionProfile, units: Iterable[AllocationUnit]):
         self.gif_id = next(_gif_ids)
         self.profile = profile
         self.units: List[AllocationUnit] = list(units)
+        self._lightest: Optional[AllocationUnit] = None
 
     # ------------------------------------------------------------------
     # Unit bookkeeping
@@ -57,17 +58,27 @@ class Gif:
         return sorted(self.units, key=lambda unit: (unit.delivery_bandwidth, unit.unit_id))
 
     def lightest_unit(self) -> AllocationUnit:
-        """The least-loaded unit — the one the paper clusters first."""
+        """The least-loaded unit — the one the paper clusters first.
+
+        Cached until the unit list changes; CRAM asks for it on every
+        clustering attempt touching the GIF.
+        """
         if not self.units:
             raise ValueError(f"GIF {self.gif_id} has no units")
-        return min(self.units, key=lambda unit: (unit.delivery_bandwidth, unit.unit_id))
+        if self._lightest is None:
+            self._lightest = min(
+                self.units, key=lambda unit: (unit.delivery_bandwidth, unit.unit_id)
+            )
+        return self._lightest
 
     def remove_units(self, units: Sequence[AllocationUnit]) -> None:
         doomed = {unit.unit_id for unit in units}
         self.units = [unit for unit in self.units if unit.unit_id not in doomed]
+        self._lightest = None
 
     def add_unit(self, unit: AllocationUnit) -> None:
         self.units.append(unit)
+        self._lightest = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -23,6 +23,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.capacity import AllocationResult, BrokerBin, BrokerSpec
 from repro.core.closeness import ClosenessMetric, make_metric
+from repro.core.kernel import ClosenessKernel, kernel_enabled
 from repro.core.profiles import PublisherDirectory
 from repro.core.units import AllocationUnit
 from repro.sim.rng import SeededRng
@@ -33,27 +34,50 @@ def pairwise_cluster(
     cluster_count: int,
     directory: PublisherDirectory,
     metric: Union[str, ClosenessMetric] = "xor",
+    use_kernel: Optional[bool] = None,
 ) -> List[AllocationUnit]:
     """Merge the closest pair until ``cluster_count`` clusters remain.
 
     Capacity-oblivious, K fixed a priori — the two properties the paper
     criticizes.  Uses a cached best-partner table so each merge costs
-    O(C) metric evaluations instead of O(C²).
+    O(C) metric evaluations instead of an O(C²) rescan; the cache is
+    maintained so the merge sequence is *identical* to the rescan's
+    (``tests/test_pairwise_cache.py`` checks this property).  The fused
+    kernel (see :func:`repro.core.kernel.kernel_enabled` for the
+    ``use_kernel`` semantics) accelerates the rows without changing any
+    value.
     """
     if isinstance(metric, str):
         metric = make_metric(metric)
     clusters: List[AllocationUnit] = list(units)
     if cluster_count < 1:
         raise ValueError("cluster_count must be at least 1")
+    kernel: Optional[ClosenessKernel] = None
+    if kernel_enabled(use_kernel):
+        kernel = ClosenessKernel(directory, [unit.profile for unit in clusters])
+    metric.attach_kernel(kernel)
+    try:
+        return _pairwise_cluster(clusters, cluster_count, directory, metric, kernel)
+    finally:
+        metric.attach_kernel(None)
+
+
+def _pairwise_cluster(
+    clusters: List[AllocationUnit],
+    cluster_count: int,
+    directory: PublisherDirectory,
+    metric: ClosenessMetric,
+    kernel: Optional[ClosenessKernel],
+) -> List[AllocationUnit]:
+    """The merge loop of :func:`pairwise_cluster` (kernel attached)."""
     best_partner: Dict[int, Tuple[int, float]] = {}
 
     def compute_partner(index: int) -> None:
-        best_j, best_value = -1, -1.0
         mine = clusters[index]
-        for j, other in enumerate(clusters):
-            if j == index:
-                continue
-            value = metric(mine.profile, other.profile)
+        indices = [j for j in range(len(clusters)) if j != index]
+        row = metric.closeness_row(mine.profile, [clusters[j].profile for j in indices])
+        best_j, best_value = -1, -1.0
+        for j, value in zip(indices, row):
             if value > best_value:
                 best_j, best_value = j, value
         best_partner[index] = (best_j, best_value)
@@ -63,13 +87,20 @@ def pairwise_cluster(
             compute_partner(index)
 
     while len(clusters) > cluster_count and len(clusters) > 1:
-        # Pick the globally closest pair from the cache.
+        # Pick the globally closest pair from the cache, scanning rows
+        # in ascending index order exactly like a brute-force rescan.
         best_i, best_j, best_value = -1, -1, -1.0
-        for index, (j, value) in best_partner.items():
+        for index in sorted(best_partner):
+            j, value = best_partner[index]
             if value > best_value:
                 best_i, best_j, best_value = index, j, value
-        merged = AllocationUnit.merged([clusters[best_i], clusters[best_j]], directory)
+        merged = AllocationUnit.merged(
+            [clusters[best_i], clusters[best_j]], directory, kernel=kernel
+        )
         lo, hi = min(best_i, best_j), max(best_i, best_j)
+        if kernel is not None:
+            kernel.forget(clusters[lo].profile)
+            kernel.forget(clusters[hi].profile)
         clusters[lo] = merged
         clusters.pop(hi)
         # Rebuild the cache around the removed index.  Indices above hi
@@ -86,8 +117,21 @@ def pairwise_cluster(
                 new_cache[new_index] = (j - 1 if j > hi else j, value)
         best_partner = new_cache
         stale.add(lo)
-        for index in stale:
-            if len(clusters) > 1:
+        if len(clusters) > 1:
+            # A surviving row's cached partner is still its best among
+            # the unchanged clusters, but the *merged* cluster may now
+            # beat it.  One row against the merged profile keeps every
+            # entry identical to what a full rescan would produce (ties
+            # go to the lower index, mirroring the strict-`>` scan).
+            survivors = [i for i in sorted(best_partner) if i not in stale]
+            row = metric.closeness_row(
+                merged.profile, [clusters[i].profile for i in survivors]
+            )
+            for i, value in zip(survivors, row):
+                cached_j, cached_value = best_partner[i]
+                if value > cached_value or (value == cached_value and lo < cached_j):
+                    best_partner[i] = (lo, value)
+            for index in sorted(stale):
                 compute_partner(index)
     return clusters
 
@@ -96,9 +140,11 @@ class PairwiseAllocator:
     """Common machinery of the two pairwise derivatives."""
 
     def __init__(self, metric: Union[str, ClosenessMetric] = "xor",
-                 rng: Optional[SeededRng] = None):
+                 rng: Optional[SeededRng] = None,
+                 use_kernel: Optional[bool] = None):
         self.metric = make_metric(metric) if isinstance(metric, str) else metric
         self._rng = rng if rng is not None else SeededRng(0, "pairwise")
+        self.use_kernel = use_kernel
 
     def _force_assign(
         self,
@@ -127,8 +173,9 @@ class PairwiseKAllocator(PairwiseAllocator):
     name = "pairwise-k"
 
     def __init__(self, cluster_count: int, metric: Union[str, ClosenessMetric] = "xor",
-                 rng: Optional[SeededRng] = None):
-        super().__init__(metric, rng)
+                 rng: Optional[SeededRng] = None,
+                 use_kernel: Optional[bool] = None):
+        super().__init__(metric, rng, use_kernel)
         if cluster_count < 1:
             raise ValueError("cluster_count must be at least 1")
         self.cluster_count = cluster_count
@@ -141,7 +188,8 @@ class PairwiseKAllocator(PairwiseAllocator):
     ) -> AllocationResult:
         pool = list(pool)
         count = min(self.cluster_count, len(units)) or 1
-        clusters = pairwise_cluster(units, count, directory, self.metric)
+        clusters = pairwise_cluster(units, count, directory, self.metric,
+                                    use_kernel=self.use_kernel)
         targets = [self._rng.choice(pool) for _ in clusters]
         return self._force_assign(clusters, targets, directory)
 
@@ -159,6 +207,7 @@ class PairwiseNAllocator(PairwiseAllocator):
     ) -> AllocationResult:
         pool = list(pool)
         count = min(len(pool), len(units)) or 1
-        clusters = pairwise_cluster(units, count, directory, self.metric)
+        clusters = pairwise_cluster(units, count, directory, self.metric,
+                                    use_kernel=self.use_kernel)
         targets = self._rng.shuffled(pool)[: len(clusters)]
         return self._force_assign(clusters, targets, directory)

@@ -24,11 +24,14 @@ closeness evaluations).
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.core.closeness import ClosenessMetric
 from repro.core.gif import Gif
 from repro.core.units import approx_zero
+
+if TYPE_CHECKING:  # pragma: no cover - type-only (avoids import at load)
+    from repro.core.kernel import ClosenessKernel
 
 
 class PosetNode:
@@ -59,12 +62,35 @@ class PosetNode:
         return f"PosetNode(gif={self.gif.gif_id})"
 
 
-class Poset:
-    """DAG of GIFs ordered by bit-vector coverage."""
+def _ordered_children(node: PosetNode) -> List[PosetNode]:
+    """A node's children in ascending ``gif_id`` order (deterministic)."""
+    return sorted(node.children, key=lambda child: child.gif.gif_id)
 
-    def __init__(self):
+
+class Poset:
+    """DAG of GIFs ordered by bit-vector coverage.
+
+    An optional fused ``kernel`` accelerates the coverage tests that
+    dominate insertion; :meth:`validate` deliberately stays on the
+    naive path so it remains an independent check.
+    """
+
+    def __init__(self, kernel: Optional["ClosenessKernel"] = None):
         self.root = PosetNode(None)
         self._nodes: Dict[int, PosetNode] = {}
+        self._kernel = kernel
+
+    def _covers(self, node: PosetNode, other: PosetNode) -> bool:
+        """Kernel-accelerated :meth:`PosetNode.covers` (same verdicts)."""
+        if node.is_root:
+            return True
+        if other.is_root:
+            return False
+        if self._kernel is not None:
+            verdict = self._kernel.covers(node.gif.profile, other.gif.profile)
+            if verdict is not None:
+                return verdict
+        return node.gif.profile.covers(other.gif.profile)
 
     def __len__(self) -> int:
         return len(self._nodes)
@@ -120,7 +146,7 @@ class Poset:
             covering_children = [
                 child
                 for child in candidate.children
-                if child.covers(node)
+                if self._covers(child, node)
             ]
             if covering_children:
                 for child in covering_children:
@@ -152,7 +178,7 @@ class Poset:
                     queue.append(child)
         while queue:
             candidate = queue.popleft()
-            if node.covers(candidate):
+            if self._covers(node, candidate):
                 children.append(candidate)
                 # Its descendants are covered transitively; skip them.
                 continue
@@ -184,9 +210,16 @@ class Poset:
     # Queries used by CRAM
     # ------------------------------------------------------------------
     def covered_gifs(self, gif: Gif) -> List[Gif]:
-        """Direct children (covered GIFs) — O(1) poset lookup (opt. 3)."""
+        """Direct children (covered GIFs) — O(1) poset lookup (opt. 3).
+
+        Returned in ascending ``gif_id`` order: the caller merges the
+        selection it makes from this list, and profile-merge order must
+        not depend on set iteration order (heap layout).
+        """
         node = self._nodes[gif.gif_id]
-        return [child.gif for child in node.children if child.gif is not None]
+        return [
+            child.gif for child in _ordered_children(node) if child.gif is not None
+        ]
 
     def closest_partner(
         self,
@@ -213,7 +246,7 @@ class Poset:
             nonlocal best_gif, best_value
             if on_candidate is not None:
                 on_candidate(candidate, value)
-            if frozenset((gif.gif_id, candidate.gif_id)) in blacklist:
+            if blacklist and frozenset((gif.gif_id, candidate.gif_id)) in blacklist:
                 return
             if value > best_value or (
                 value == best_value
@@ -227,10 +260,19 @@ class Poset:
         if metric.prunable:
             self._pruned_scan(gif, metric, consider)
         else:
-            for node in self._nodes.values():
-                if node.gif.gif_id == gif.gif_id:
-                    continue
-                consider(node.gif, metric(gif.profile, node.gif.profile))
+            # Non-prunable (XOR): every node is evaluated anyway, so do
+            # it as one batched row — same values, same order, same
+            # evaluation count, but one pass through the fused kernel.
+            candidates = [
+                node.gif
+                for node in self._nodes.values()
+                if node.gif.gif_id != gif.gif_id
+            ]
+            row = metric.closeness_row(
+                gif.profile, [candidate.profile for candidate in candidates]
+            )
+            for candidate, value in zip(candidates, row):
+                consider(candidate, value)
         return best_gif, best_value
 
     def _pruned_scan(
@@ -239,10 +281,17 @@ class Poset:
         metric: ClosenessMetric,
         consider: Callable[[Gif, float], None],
     ) -> None:
-        """Breadth-first descent with zero- and decrease-pruning."""
+        """Breadth-first descent with zero- and decrease-pruning.
+
+        Children are visited in ascending ``gif_id`` order — the poset
+        stores edges in sets, and which parent reaches a shared child
+        first decides the ``parent_value`` its pruning test uses, so an
+        id-hash-ordered traversal would make the evaluation count (and
+        the symmetric partner-cache updates) depend on heap layout.
+        """
         seen: Set[int] = set()
         queue: deque = deque()
-        for child in self.root.children:
+        for child in _ordered_children(self.root):
             if id(child) not in seen:
                 seen.add(id(child))
                 queue.append((child, None))  # None: no parent value yet
@@ -259,7 +308,7 @@ class Poset:
                 if parent_value is not None and value < parent_value:
                     continue  # closeness started to decrease: prune
             next_value = parent_value if value is None else value
-            for child in node.children:
+            for child in _ordered_children(node):
                 if id(child) not in seen:
                     seen.add(id(child))
                     queue.append((child, next_value))

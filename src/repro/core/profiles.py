@@ -88,11 +88,13 @@ class SubscriptionProfile:
     (advertisement ID) the subscription received publications from.
     """
 
-    __slots__ = ("_capacity", "_vectors")
+    __slots__ = ("_capacity", "_vectors", "_card", "_sig")
 
     def __init__(self, capacity: int = DEFAULT_CAPACITY):
         self._capacity = capacity
         self._vectors: Dict[str, BitVector] = {}
+        self._card: Optional[int] = None
+        self._sig: Optional[Tuple[Tuple[str, Tuple[int, int]], ...]] = None
 
     # ------------------------------------------------------------------
     # Recording
@@ -107,10 +109,14 @@ class SubscriptionProfile:
         if vector is None:
             vector = BitVector(capacity=self._capacity)
             self._vectors[adv_id] = vector
+        self._card = None
+        self._sig = None
         return vector.set(pub_id)
 
     def synchronize(self, directory: PublisherDirectory) -> None:
         """Align every vector's window to its publisher's last message."""
+        self._card = None
+        self._sig = None
         for adv_id, vector in self._vectors.items():
             publisher = directory.get(adv_id)
             if publisher is not None:
@@ -137,13 +143,27 @@ class SubscriptionProfile:
 
     @property
     def cardinality(self) -> int:
-        """Total set bits across all publishers."""
-        return sum(vector.cardinality for vector in self._vectors.values())
+        """Total set bits across all publishers (cached until mutation)."""
+        if self._card is None:
+            self._card = sum(vector.cardinality for vector in self._vectors.values())
+        return self._card
 
     def copy(self) -> "SubscriptionProfile":
         clone = SubscriptionProfile(capacity=self._capacity)
         clone._vectors = {adv: vec.copy() for adv, vec in self._vectors.items()}
+        clone._card = self._card
+        clone._sig = self._sig
         return clone
+
+    def adopt_vectors(self, vectors: Dict[str, BitVector]) -> None:
+        """Replace the vector table wholesale (fused-kernel merges).
+
+        The caller owns ``vectors`` and must not mutate it afterwards;
+        insertion order becomes the profile's publisher order.
+        """
+        self._vectors = vectors
+        self._card = None
+        self._sig = None
 
     # ------------------------------------------------------------------
     # Load estimation
@@ -217,7 +237,26 @@ class SubscriptionProfile:
         return total
 
     def xor_cardinality(self, other: "SubscriptionProfile") -> int:
-        return self.union_cardinality(other) - self.intersection_cardinality(other)
+        """``|self ⊕ other|`` in one alignment pass per shared vector.
+
+        Equivalent to ``union_cardinality - intersection_cardinality``
+        but each shared publisher is aligned once via
+        :meth:`~repro.core.bitvector.BitVector.fused_cardinalities`
+        instead of twice — roughly halving the cost of the XOR
+        closeness metric even with the fused kernel disabled.
+        """
+        total = 0
+        for adv_id, vector in self._vectors.items():
+            theirs = other._vectors.get(adv_id)
+            if theirs is None:
+                total += vector.cardinality
+            else:
+                _i, _u, xor = vector.fused_cardinalities(theirs)
+                total += xor
+        for adv_id, theirs in other._vectors.items():
+            if adv_id not in self._vectors:
+                total += theirs.cardinality
+        return total
 
     def covers(self, other: "SubscriptionProfile") -> bool:
         """Whether this profile's bits are a superset of ``other``'s."""
@@ -242,14 +281,18 @@ class SubscriptionProfile:
         same publications; CRAM groups them into one GIF.
         Empty vectors are excluded so a profile that merely *opened* a
         vector without recording bits hashes like one that never did.
+        The tuple is cached until the next mutation; CRAM asks for it
+        on every GIF-table lookup.
         """
-        return tuple(
-            sorted(
-                (adv_id, vector.signature())
-                for adv_id, vector in self._vectors.items()
-                if vector
+        if self._sig is None:
+            self._sig = tuple(
+                sorted(
+                    (adv_id, vector.signature())
+                    for adv_id, vector in self._vectors.items()
+                    if vector
+                )
             )
-        )
+        return self._sig
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, SubscriptionProfile):

@@ -21,7 +21,10 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - type-only (kernel imports nothing here)
+    from repro.core.kernel import ClosenessKernel, PackedProfile
 
 # Canonical import point for the float tolerance helpers mandated by
 # reprolint's float-equality rule (implementation lives one layer down
@@ -87,6 +90,8 @@ class AllocationUnit:
         "subscription_count",
         "kind",
         "child_broker_ids",
+        "pack_hint",
+        "binpack_key",
     )
 
     def __init__(
@@ -107,6 +112,16 @@ class AllocationUnit:
         self.subscription_count = subscription_count
         self.kind = kind
         self.child_broker_ids = tuple(child_broker_ids)
+        #: ``(kernel, PackedProfile)`` cached by the broker bins so the
+        #: many feasibility probes of one CRAM run skip the kernel's
+        #: pack-cache lookup; invalid the moment a different kernel
+        #: (i.e. a different allocation run) shows up.
+        self.pack_hint: Optional[Tuple["ClosenessKernel", "PackedProfile"]] = None
+        #: Precomputed first-fit-decreasing sort key.  ``delivery_bandwidth``
+        #: is fixed at construction, and BIN PACKING re-sorts the pool on
+        #: every CRAM probe — thousands of sorts per run, so the key is
+        #: built once instead of inside a sort lambda.
+        self.binpack_key: Tuple[float, int] = (-delivery_bandwidth, self.unit_id)
 
     # ------------------------------------------------------------------
     # Construction
@@ -151,7 +166,10 @@ class AllocationUnit:
 
     @classmethod
     def merged(
-        cls, units: Sequence["AllocationUnit"], directory: PublisherDirectory
+        cls,
+        units: Sequence["AllocationUnit"],
+        directory: PublisherDirectory,
+        kernel: Optional["ClosenessKernel"] = None,
     ) -> "AllocationUnit":
         """Cluster several units into one (CRAM's OR-merge).
 
@@ -163,6 +181,10 @@ class AllocationUnit:
         Either way the merged bandwidth is the *sum* of the members':
         each subscriber still receives its own copy, and each child
         broker still gets its own downlink stream.
+
+        With a fused ``kernel`` the profile OR-merge happens on packed
+        bits (one big-int pass) whenever every member profile packs
+        exactly; the result is bit-identical to the naive merge.
         """
         if not units:
             raise ValueError("cannot merge zero units")
@@ -171,7 +193,11 @@ class AllocationUnit:
             raise ValueError(f"cannot merge units of mixed kinds {sorted(kinds)}")
         if len(units) == 1:
             return units[0]
-        profile = merge_profiles(unit.profile for unit in units)
+        profile = None
+        if kernel is not None:
+            profile = kernel.merge_profiles([unit.profile for unit in units])
+        if profile is None:
+            profile = merge_profiles(unit.profile for unit in units)
         members = tuple(itertools.chain.from_iterable(unit.members for unit in units))
         children = tuple(
             itertools.chain.from_iterable(unit.child_broker_ids for unit in units)
