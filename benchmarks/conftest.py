@@ -42,7 +42,7 @@ from typing import Dict, List, Tuple
 
 import pytest
 
-from repro.experiments.runner import ExperimentRunner
+from repro.experiments.runner import APPROACHES, ExperimentRunner
 from repro.workloads.scenarios import Scenario
 
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.15"))
@@ -53,19 +53,9 @@ SCINET_SCALE = float(os.environ.get("REPRO_BENCH_SCINET", "0.08"))
 BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "2011"))
 BENCH_OUT = os.environ.get("REPRO_BENCH_OUT", ".")
 
-#: The paper's ten approaches, in its presentation order.
-ALL_APPROACHES = (
-    "manual",
-    "automatic",
-    "pairwise-k",
-    "pairwise-n",
-    "fbf",
-    "binpacking",
-    "cram-intersect",
-    "cram-xor",
-    "cram-ios",
-    "cram-iou",
-)
+#: The paper's ten approaches, in its presentation order — the
+#: baselines plus the allocator registry's import-time snapshot.
+ALL_APPROACHES = APPROACHES
 
 
 def run_matrix(

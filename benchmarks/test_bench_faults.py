@@ -1,0 +1,100 @@
+"""Availability under injected faults (paper-external robustness study).
+
+The paper evaluates CROC on a fault-free testbed; this suite measures
+how the reproduction's degraded-mode machinery holds up when brokers
+crash and the fabric drops or delays messages.  One cram-ios cell runs
+per fault level, from fault-free to 20% broker crashes with 5% loss,
+and the rows carry the availability counters
+(:meth:`~repro.pubsub.metrics.MetricsSummary.fault_row`) next to the
+paper's broker-reduction headline.
+
+Asserted floors:
+
+* the fault-free cell delivers everything (``delivery_rate == 1.0``)
+  and records no fault activity;
+* with 10% of brokers crashing mid-profiling, the degraded
+  reconfiguration still completes and end-to-end delivery stays at or
+  above 90% — the acceptance bar for the fault subsystem;
+* every cell still deallocates brokers (the green objective survives
+  the fault handling).
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_SCALE, BENCH_SEED, print_figure
+from repro.experiments.runner import ExperimentRunner
+from repro.sim.faults import FaultPlan
+from repro.workloads.scenarios import cluster_homogeneous
+
+APPROACH = "cram-ios"
+
+#: (crash_fraction, loss_rate) per cell, fault-free first.
+FAULT_CELLS = ((0.0, 0.0), (0.1, 0.0), (0.1, 0.02), (0.2, 0.05))
+
+_cache = {}
+
+
+def _plan(crash_fraction, loss_rate):
+    if crash_fraction <= 0.0 and loss_rate <= 0.0:
+        return FaultPlan()
+    return FaultPlan(
+        crash_fraction=crash_fraction,
+        crash_start=10.0,
+        crash_stagger=2.0,
+        loss_rate=loss_rate,
+        seed=BENCH_SEED,
+    )
+
+
+def fault_results():
+    if not _cache:
+        scenario = cluster_homogeneous(
+            subscriptions_per_publisher=12,
+            scale=BENCH_SCALE,
+            measurement_time=40.0,
+        )
+        _cache["scenario"] = scenario
+        _cache["results"] = {
+            cell: ExperimentRunner(
+                scenario,
+                seed=BENCH_SEED,
+                cram_failure_budget=150,
+                fault_plan=_plan(*cell),
+            ).run(APPROACH)
+            for cell in FAULT_CELLS
+        }
+    return _cache
+
+
+def test_fig_faults_availability(benchmark):
+    cache = benchmark.pedantic(fault_results, rounds=1, iterations=1)
+    results = cache["results"]
+    rows = []
+    for crash_fraction, loss_rate in FAULT_CELLS:
+        result = results[(crash_fraction, loss_rate)]
+        row = {
+            "crash_fraction": crash_fraction,
+            "loss_rate": loss_rate,
+            "allocated_brokers": result.allocated_brokers,
+            "broker_reduction_pct": round(100 * result.broker_reduction, 1),
+        }
+        row.update(result.summary.fault_row())
+        rows.append(row)
+    print_figure("faults: delivery rate & broker reduction vs failure rate", rows)
+
+    clean = results[(0.0, 0.0)].summary
+    assert clean.delivery_rate == 1.0
+    assert clean.broker_crashes == 0
+    assert clean.publications_lost == 0
+
+    degraded = results[(0.1, 0.0)]
+    assert degraded.summary.broker_crashes >= 1
+    assert degraded.summary.delivery_rate >= 0.9, (
+        "degraded reconfiguration must keep >= 90% delivery at 10% crashes"
+    )
+    assert degraded.summary.delivery_count > 0
+
+    for cell in FAULT_CELLS:
+        assert results[cell].broker_reduction > 0.0, (
+            f"fault handling must not cost the green objective at {cell}"
+        )

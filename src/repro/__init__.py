@@ -31,17 +31,37 @@ from repro.core import (
     MatchingDelayFunction,
     OverlayBuilder,
     PublisherProfile,
+    ReconfigurationError,
     SubscriptionProfile,
 )
-from repro.experiments.runner import APPROACHES, ExperimentResult, ExperimentRunner
+from repro.core import allocators
+from repro.core.allocators import (
+    get_allocator,
+    register_allocator,
+    registered_allocators,
+)
+from repro.experiments.continuous import ContinuousReconfigurator
+from repro.experiments.runner import (
+    APPROACHES,
+    ExperimentResult,
+    ExperimentRunner,
+    available_approaches,
+)
+from repro.pubsub.faults import FaultInjector
+from repro.sim.faults import FaultEvent, FaultPlan
 from repro.workloads import scenarios
 
+#: The stable public surface.  Subpackages stay importable for
+#: everything else (``repro.core.cram``, ``repro.pubsub.network``, …);
+#: this list is the API we promise not to break between PRs.
 __all__ = [
+    # Subpackages
     "core",
     "pubsub",
     "sim",
     "workloads",
     "scenarios",
+    # Allocation building blocks
     "BinPackingAllocator",
     "BitVector",
     "BrokerSpec",
@@ -53,9 +73,22 @@ __all__ = [
     "MatchingDelayFunction",
     "OverlayBuilder",
     "PublisherProfile",
+    "ReconfigurationError",
     "SubscriptionProfile",
+    # Allocator registry
+    "allocators",
+    "get_allocator",
+    "register_allocator",
+    "registered_allocators",
+    # Experiment drivers
     "APPROACHES",
+    "available_approaches",
+    "ContinuousReconfigurator",
     "ExperimentResult",
     "ExperimentRunner",
+    # Fault injection
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
     "__version__",
 ]

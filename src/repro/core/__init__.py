@@ -13,6 +13,12 @@ Related and baseline approaches — :mod:`repro.core.pairwise`,
 
 from __future__ import annotations
 
+from repro.core import allocators
+from repro.core.allocators import (
+    get_allocator,
+    register_allocator,
+    registered_allocators,
+)
 from repro.core.bitvector import DEFAULT_CAPACITY, BitVector
 from repro.core.binpacking import BinPackingAllocator
 from repro.core.baselines import automatic_deployment, manual_deployment
@@ -66,6 +72,10 @@ from repro.core.validation import (
 )
 
 __all__ = [
+    "allocators",
+    "get_allocator",
+    "register_allocator",
+    "registered_allocators",
     "DEFAULT_CAPACITY",
     "BitVector",
     "BinPackingAllocator",

@@ -1,0 +1,119 @@
+"""The allocator registry: pluggable Phase-2 allocation algorithms.
+
+Experiment drivers used to hard-code a string-switch over the paper's
+six CROC allocators (FBF, BIN PACKING, four CRAM metrics) — adding an
+allocator variant meant editing the runner, the CLI, and the sweep
+module in lockstep.  This module replaces that with a single registry:
+
+* :func:`register` binds a name to a *builder* — a callable taking
+  keyword knobs (``rng``, ``failure_budget``, …) and returning a
+  zero-argument allocator factory, the shape
+  :class:`~repro.core.croc.Croc` consumes.
+* :func:`get` resolves a name to a ready factory.
+* :func:`registered_names` drives CLI choices and the approach tables,
+  preserving registration order (the paper's presentation order).
+
+Builders accept ``**knobs`` liberally and pick what they understand,
+so one call site can thread every experiment knob to every allocator.
+
+Example
+-------
+>>> factory = get("cram-ios")
+>>> factory().name
+'cram-ios'
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Tuple
+
+from repro.core.binpacking import BinPackingAllocator
+from repro.core.cram import CramAllocator
+from repro.core.fbf import FbfAllocator
+
+#: A zero-argument callable producing a fresh allocator instance.
+AllocatorFactory = Callable[[], Any]
+
+#: A builder: keyword knobs in, allocator factory out.
+AllocatorBuilder = Callable[..., AllocatorFactory]
+
+_REGISTRY: Dict[str, AllocatorBuilder] = {}
+
+
+def register(name: str, builder: AllocatorBuilder, *,
+             replace: bool = False) -> None:
+    """Bind ``name`` to an allocator ``builder``.
+
+    Duplicate names are rejected unless ``replace`` is set — silently
+    shadowing one of the paper's allocators would corrupt every table
+    that derives its rows from the registry.
+    """
+    if not name:
+        raise ValueError("allocator name must be non-empty")
+    if name in _REGISTRY and not replace:
+        raise ValueError(
+            f"allocator {name!r} already registered (pass replace=True to override)"
+        )
+    _REGISTRY[name] = builder
+
+
+def unregister(name: str) -> None:
+    """Remove a registered allocator (unknown names raise)."""
+    if name not in _REGISTRY:
+        raise ValueError(f"allocator {name!r} is not registered")
+    del _REGISTRY[name]
+
+
+def is_registered(name: str) -> bool:
+    """True when ``name`` resolves to a registered builder."""
+    return name in _REGISTRY
+
+
+def registered_names() -> Tuple[str, ...]:
+    """All registered allocator names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def get(name: str, **knobs: Any) -> AllocatorFactory:
+    """Resolve ``name`` to a zero-argument allocator factory.
+
+    ``knobs`` are forwarded to the builder; builders ignore knobs they
+    do not understand.
+    """
+    builder = _REGISTRY.get(name)
+    if builder is None:
+        raise ValueError(
+            f"unknown allocator {name!r}; registered: {', '.join(_REGISTRY) or '(none)'}"
+        )
+    return builder(**knobs)
+
+
+# ----------------------------------------------------------------------
+# Built-in allocators, in the paper's presentation order (§IV–V).
+# ----------------------------------------------------------------------
+def _fbf_builder(rng: Any = None, **_: Any) -> AllocatorFactory:
+    return lambda: FbfAllocator(rng=rng)
+
+
+def _binpacking_builder(**_: Any) -> AllocatorFactory:
+    return BinPackingAllocator
+
+
+def _cram_builder(metric: str) -> AllocatorBuilder:
+    def build(failure_budget: Any = None, **_: Any) -> AllocatorFactory:
+        return lambda: CramAllocator(metric=metric, failure_budget=failure_budget)
+
+    return build
+
+
+register("fbf", _fbf_builder)
+register("binpacking", _binpacking_builder)
+for _metric in ("intersect", "xor", "ios", "iou"):
+    register(f"cram-{_metric}", _cram_builder(_metric))
+del _metric
+
+#: Aliases re-exported at the :mod:`repro.core` / :mod:`repro` level,
+#: where the short names would be ambiguous.
+register_allocator = register
+get_allocator = get
+registered_allocators = registered_names

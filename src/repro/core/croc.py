@@ -39,27 +39,50 @@ class ReconfigurationError(Exception):
 
 @dataclass
 class GatherResult:
-    """Everything Phase 1 learned about the running system."""
+    """Everything Phase 1 learned about the running system.
+
+    ``silent_brokers`` are active brokers that answered no BIR this
+    round (crashed, or unreachable behind a crashed broker) — their
+    specs are excluded from the plannable pool.  ``cached_brokers`` is
+    the subset of silent brokers whose last-known reports were
+    substituted from the coordinator's cache, so their subscriptions
+    can be re-homed onto live brokers (a *degraded* plan).
+    """
 
     broker_pool: List[BrokerSpec]
     records: List[SubscriptionRecord]
     directory: Dict[str, PublisherProfile]
     reports: Dict[str, BrokerReport] = field(default_factory=dict)
+    silent_brokers: List[str] = field(default_factory=list)
+    cached_brokers: List[str] = field(default_factory=list)
+    attempts: int = 1
 
     @property
     def subscription_count(self) -> int:
         return len(self.records)
 
+    @property
+    def degraded(self) -> bool:
+        """True when the plan is built from incomplete information."""
+        return bool(self.silent_brokers)
+
 
 @dataclass
 class ReconfigurationReport:
-    """Outcome and cost accounting of one CROC run."""
+    """Outcome and cost accounting of one CROC run.
+
+    ``applied`` is False when the reconfiguration was aborted or rolled
+    back because a target broker died around the apply;
+    ``rollback_reason`` then says why.
+    """
 
     approach: str
     deployment: Deployment
     allocation: AllocationResult
     gather: GatherResult
     computation_seconds: float
+    applied: bool = True
+    rollback_reason: str = ""
 
     @property
     def allocated_brokers(self) -> int:
@@ -89,6 +112,9 @@ class Croc:
         grape: Optional[GrapeRelocator] = None,
         overlay_builder: Optional[OverlayBuilder] = None,
         approach: Optional[str] = None,
+        gather_timeout: float = 30.0,
+        gather_retries: int = 2,
+        gather_backoff: float = 2.0,
     ):
         self._allocator_factory = allocator_factory
         self.grape = grape if grape is not None else GrapeRelocator(objective="load")
@@ -99,12 +125,19 @@ class Croc:
         )
         self.approach = approach or getattr(allocator_factory(), "name", "croc")
         self.last_allocator = None
+        self.gather_timeout = gather_timeout
+        self.gather_retries = gather_retries
+        self.gather_backoff = gather_backoff
+        #: Last-known report per broker, feeding partial-gather plans.
+        self._report_cache: Dict[str, BrokerReport] = {}
 
     # ------------------------------------------------------------------
     # Phase 1: information gathering over the live overlay
     # ------------------------------------------------------------------
     def gather(self, network, via_broker: Optional[str] = None,
-               timeout: float = 120.0, include_standby: bool = True) -> GatherResult:
+               timeout: Optional[float] = None, include_standby: bool = True,
+               retries: Optional[int] = None, backoff: Optional[float] = None,
+               use_cache: bool = True) -> GatherResult:
         """Flood a BIR from one broker and await the aggregated BIA.
 
         ``include_standby`` adds the specs of brokers the coordinator
@@ -113,33 +146,90 @@ class Croc:
         BIR).  Without them, a consolidated system could never grow
         back when the workload rises — the data-center inventory stays
         in the pool even while powered down.
+
+        Robustness (paper-external, see DESIGN.md):
+
+        * Each attempt waits at most ``timeout`` virtual seconds; on
+          silence the coordinator retries up to ``retries`` more times
+          with the wait stretched by ``backoff`` per attempt, rotating
+          the entry broker (the usual cause of total silence is a dead
+          entry).  Total silence after all attempts raises
+          :class:`ReconfigurationError`.
+        * Active brokers missing from the aggregated answer are
+          *silent*: their specs are excluded from the plannable pool,
+          and when ``use_cache`` their last-known reports are
+          substituted so their subscriptions re-home onto live brokers
+          — a *degraded* plan.
         """
         brokers = network.active_brokers
         if not brokers:
             raise ReconfigurationError("no active brokers to gather from")
-        entry = via_broker if via_broker is not None else brokers[0]
+        timeout = self.gather_timeout if timeout is None else timeout
+        retries = self.gather_retries if retries is None else retries
+        backoff = self.gather_backoff if backoff is None else backoff
+        answer: Optional[BrokerInformationAnswer] = None
+        attempts = 0
+        for attempt in range(retries + 1):
+            attempts = attempt + 1
+            entry = via_broker if via_broker is not None else brokers[attempt % len(brokers)]
+            wait = timeout * backoff ** attempt
+            answer = self._flood_bir(network, entry, wait)
+            if answer is not None:
+                break
+            if attempt < retries:
+                network.metrics.on_gather_retry()
+        if answer is None:
+            raise ReconfigurationError(
+                f"no aggregated BIA from any entry broker after {attempts} attempt(s)"
+            )
+        reports = dict(answer.reports)
+        silent = sorted(
+            broker_id for broker_id in brokers if broker_id not in reports
+        )
+        cached: List[str] = []
+        if use_cache:
+            for broker_id in silent:
+                cached_report = self._report_cache.get(broker_id)
+                if cached_report is not None:
+                    reports[broker_id] = cached_report
+                    cached.append(broker_id)
+        self._report_cache.update(answer.reports)
+        gathered = self._assemble(reports)
+        if silent:
+            # Never plan onto a silent broker — keep its cached
+            # subscription records (for re-homing) but drop its spec.
+            silent_set = set(silent)
+            gathered.broker_pool = [
+                spec for spec in gathered.broker_pool
+                if spec.broker_id not in silent_set
+            ]
+            network.metrics.on_degraded_plan()
+        gathered.silent_brokers = silent
+        gathered.cached_brokers = cached
+        gathered.attempts = attempts
+        if include_standby:
+            reported = {spec.broker_id for spec in gathered.broker_pool}
+            skip = set(silent)
+            for broker_id in sorted(network.brokers):
+                if broker_id not in reported and broker_id not in skip:
+                    gathered.broker_pool.append(network.brokers[broker_id].spec)
+        return gathered
+
+    def _flood_bir(self, network, entry: str,
+                   wait: float) -> Optional[BrokerInformationAnswer]:
+        """One gather attempt: flood a BIR via ``entry``, await the BIA."""
         croc_id = f"croc-{next(_croc_ids)}"
         inbox: List[BrokerInformationAnswer] = []
         network.register_control_client(croc_id, inbox.append)
         network.brokers[entry].attach_client(croc_id)
         request = BrokerInformationRequest()
         network.client_send(croc_id, entry, request, CONTROL_MESSAGE_KB)
-        deadline = network.sim.now + timeout
+        deadline = network.sim.now + wait
         while not inbox and network.sim.now < deadline and network.sim.pending:
             network.sim.run(until=min(network.sim.now + 0.05, deadline))
         network.brokers[entry].detach_client(croc_id)
-        if not inbox:
-            raise ReconfigurationError(
-                f"BIR {request.request_id} received no aggregated BIA"
-            )
-        answer = inbox[0]
-        gathered = self._assemble(answer.reports)
-        if include_standby:
-            reported = {spec.broker_id for spec in gathered.broker_pool}
-            for broker_id in sorted(network.brokers):
-                if broker_id not in reported:
-                    gathered.broker_pool.append(network.brokers[broker_id].spec)
-        return gathered
+        network.unregister_control_client(croc_id)
+        return inbox[0] if inbox else None
 
     @staticmethod
     def _assemble(reports: Dict[str, BrokerReport]) -> GatherResult:
@@ -197,9 +287,45 @@ class Croc:
     # Full pipeline
     # ------------------------------------------------------------------
     def reconfigure(self, network, settle_time: float = 2.0) -> ReconfigurationReport:
-        """Gather → plan → execute on the live network."""
+        """Gather → plan → execute on the live network.
+
+        If a broker the plan depends on dies before the apply, the plan
+        is abandoned (the running deployment stays untouched).  If one
+        dies *during* the apply/settle, the network is rolled back to
+        the pre-plan deployment — a half-moved overlay is worse than a
+        suboptimal one.  Either way ``report.applied`` is False and
+        ``report.rollback_reason`` says what happened.
+        """
         gathered = self.gather(network)
         report = self.plan(gathered)
+        previous = network.last_deployment
+        dead = self._dead_targets(network, report.deployment)
+        if dead:
+            report.applied = False
+            report.rollback_reason = (
+                f"target broker(s) {dead} down before apply; plan abandoned"
+            )
+            network.metrics.on_rollback()
+            return report
         network.apply_deployment(report.deployment)
         network.run(settle_time)
+        dead = self._dead_targets(network, report.deployment)
+        if dead:
+            report.applied = False
+            report.rollback_reason = (
+                f"target broker(s) {dead} died during apply; rolled back"
+            )
+            network.metrics.on_rollback()
+            if previous is not None:
+                network.apply_deployment(previous)
+                network.run(settle_time)
         return report
+
+    @staticmethod
+    def _dead_targets(network, deployment: Deployment) -> List[str]:
+        """Brokers of the planned tree currently held down by faults."""
+        return sorted(
+            broker_id
+            for broker_id in deployment.tree.brokers
+            if network.broker_is_down(broker_id)
+        )

@@ -22,7 +22,7 @@ from typing import List, Optional, Sequence
 
 from repro.core.croc import ReconfigurationError
 from repro.experiments.report import format_rows
-from repro.experiments.runner import APPROACHES
+from repro.experiments.runner import available_approaches
 from repro.experiments.sweeps import (
     FIGURES,
     figure_rows,
@@ -32,6 +32,7 @@ from repro.experiments.sweeps import (
     scinet_scenarios,
     sweep,
 )
+from repro.sim.faults import FaultPlan
 
 SCENARIO_FAMILIES = ("homo", "het", "scinet")
 
@@ -77,6 +78,11 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="virtual seconds per measurement window")
     parser.add_argument("--csv", help="also write rows to this CSV file")
     parser.add_argument("--json", help="also write rows to this JSON file")
+    parser.add_argument("--faults", type=FaultPlan.from_spec, default=None,
+                        metavar="SPEC",
+                        help="fault plan, e.g. "
+                             "'crash=0.1,start=5,downtime=30,loss=0.01,"
+                             "jitter=0.002,seed=7' ('none' disables)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -87,11 +93,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
+    approaches = available_approaches()
     run_cmd = commands.add_parser(
         "run", help="run one or more approaches on one scenario family"
     )
     _add_common(run_cmd)
-    run_cmd.add_argument("--approach", action="append", choices=APPROACHES,
+    run_cmd.add_argument("--approach", action="append", choices=approaches,
                          help="repeatable; default: manual + cram-ios")
 
     figure_cmd = commands.add_parser(
@@ -99,8 +106,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(figure_cmd)
     figure_cmd.add_argument("--figure", choices=sorted(FIGURES), required=True)
-    figure_cmd.add_argument("--approach", action="append", choices=APPROACHES,
-                            help="repeatable; default: all ten")
+    figure_cmd.add_argument("--approach", action="append", choices=approaches,
+                            help="repeatable; default: all registered")
 
     commands.add_parser("list", help="list approaches, figures, scenarios")
     return parser
@@ -110,29 +117,38 @@ def cmd_run(args) -> int:
     approaches = args.approach or ["manual", "cram-ios"]
     scenarios = _build_scenarios(args)
     rows = []
+    failures = []
     for scenario in scenarios:
         for approach in approaches:
             print(f"running {scenario.name} / {approach} ...", file=sys.stderr)
             try:
-                result = run_cell(scenario, approach, seed=args.seed)
-            except ReconfigurationError as exc:
+                result = run_cell(scenario, approach, seed=args.seed,
+                                  fault_plan=args.faults)
+            except Exception as exc:  # keep running the remaining cells
                 print(f"error: {scenario.name} / {approach}: {exc}",
                       file=sys.stderr)
-                return 2
+                failures.append((scenario.name, approach, exc))
+                continue
             rows.append(result.as_row())
-    print(format_rows(rows))
     if rows:
+        print(format_rows(rows))
         _export(rows, args)
+    if failures:
+        print(f"{len(failures)} cell(s) failed:", file=sys.stderr)
+        for scenario_name, approach, exc in failures:
+            print(f"  {scenario_name} / {approach}: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 
 def cmd_figure(args) -> int:
-    approaches = tuple(args.approach or APPROACHES)
+    approaches = tuple(args.approach or available_approaches())
     scenarios = _build_scenarios(args)
     try:
         results = sweep(
             scenarios, approaches, seed=args.seed,
             progress=lambda label: print(f"running {label} ...", file=sys.stderr),
+            fault_plan=args.faults,
         )
     except ReconfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -147,7 +163,7 @@ def cmd_figure(args) -> int:
 
 def cmd_list(_args) -> int:
     print("approaches:")
-    for approach in APPROACHES:
+    for approach in available_approaches():
         print(f"  {approach}")
     print("figures:")
     for name, metric in sorted(FIGURES.items()):

@@ -34,6 +34,8 @@ class CycleReport:
     subscriptions_profiled: int
     reconfigured: bool
     skipped_reason: str = ""
+    degraded: bool = False
+    rolled_back: bool = False
 
     def as_row(self) -> dict:
         return {
@@ -44,7 +46,10 @@ class CycleReport:
                 self.summary.avg_broker_message_rate, 3
             ),
             "deliveries": self.summary.delivery_count,
+            "delivery_rate": round(self.summary.delivery_rate, 4),
             "reconfigured": self.reconfigured,
+            "degraded": self.degraded,
+            "rolled_back": self.rolled_back,
         }
 
 
@@ -87,9 +92,18 @@ class ContinuousReconfigurator:
             reconfigured = True
             skipped = ""
             subscriptions = 0
+            degraded = False
+            rolled_back = False
             try:
                 report = self.croc.reconfigure(network)
                 subscriptions = report.gather.subscription_count
+                degraded = report.gather.degraded
+                if not report.applied:
+                    # Aborted / rolled back mid-apply; the previous
+                    # deployment keeps serving traffic.
+                    reconfigured = False
+                    rolled_back = True
+                    skipped = report.rollback_reason
             except ReconfigurationError as exc:
                 # Keep the current deployment; record why.
                 reconfigured = False
@@ -108,6 +122,8 @@ class ContinuousReconfigurator:
                     subscriptions_profiled=subscriptions,
                     reconfigured=reconfigured,
                     skipped_reason=skipped,
+                    degraded=degraded,
+                    rolled_back=rolled_back,
                 )
             )
         return self.reports

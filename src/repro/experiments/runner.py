@@ -22,13 +22,13 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.core import allocators
 from repro.core.baselines import automatic_deployment, manual_deployment
 from repro.core.binpacking import BinPackingAllocator
 from repro.core.capacity import BrokerSpec
 from repro.core.cram import CramAllocator, CramStats
 from repro.core.croc import Croc, GatherResult
 from repro.core.deployment import Deployment
-from repro.core.fbf import FbfAllocator
 from repro.core.grape import GrapeRelocator
 from repro.core.overlay_builder import OverlayBuilder
 from repro.core.pairwise import PairwiseKAllocator, PairwiseNAllocator
@@ -36,25 +36,32 @@ from repro.core.units import units_from_records
 from repro.pubsub.client import PublisherClient, SubscriberClient
 from repro.pubsub.metrics import MetricsSummary
 from repro.pubsub.network import PubSubNetwork
+from repro.sim.faults import FaultPlan
 from repro.sim.rng import SeededRng
 from repro.workloads.scenarios import Scenario
 from repro.workloads.stocks import StockQuoteFeed, stock_advertisement
 from repro.workloads.subscriptions import subscription_workload
 
-#: The paper's ten evaluated approaches: two baselines, two related
-#: derivatives, two sorting allocators, four CRAM closeness metrics.
-APPROACHES: Tuple[str, ...] = (
+#: Approaches that bypass CROC's Phase-2 allocators: the paper's two
+#: baselines and the two related-work PAIRWISE derivatives.
+BASE_APPROACHES: Tuple[str, ...] = (
     "manual",
     "automatic",
     "pairwise-k",
     "pairwise-n",
-    "fbf",
-    "binpacking",
-    "cram-intersect",
-    "cram-xor",
-    "cram-ios",
-    "cram-iou",
 )
+
+#: The paper's ten evaluated approaches: two baselines, two related
+#: derivatives, plus every allocator in the registry at import time
+#: (two sorting allocators, four CRAM closeness metrics).  This is a
+#: snapshot — use :func:`available_approaches` for the live set
+#: including allocators registered after import.
+APPROACHES: Tuple[str, ...] = BASE_APPROACHES + allocators.registered_names()
+
+
+def available_approaches() -> Tuple[str, ...]:
+    """The currently runnable approaches: baselines + live registry."""
+    return BASE_APPROACHES + allocators.registered_names()
 
 #: Virtual seconds allowed for control traffic to quiesce after a
 #: reconfiguration, before the measurement window opens.
@@ -119,6 +126,11 @@ class ExperimentRunner:
         exhaustion; the cap only matters for CRAM-XOR, whose
         non-prunable metric otherwise probes every disjoint GIF pair.
         ``None`` reproduces the paper exactly.
+    fault_plan:
+        Optional :class:`~repro.sim.faults.FaultPlan` installed on the
+        network before the workload starts.  ``None`` (and an empty
+        plan) leaves every run bit-identical to the fault-free code
+        path.
     """
 
     def __init__(
@@ -127,11 +139,13 @@ class ExperimentRunner:
         seed: int = 0,
         cram_failure_budget: Optional[int] = 400,
         grape: Optional[GrapeRelocator] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ):
         self.scenario = scenario
         self.seed = seed
         self.cram_failure_budget = cram_failure_budget
         self.grape = grape if grape is not None else GrapeRelocator(objective="load")
+        self.fault_plan = fault_plan
         self._rng = SeededRng(seed, "experiment", scenario.name)
         self.network: Optional[PubSubNetwork] = None
         self.last_gather: Optional[GatherResult] = None
@@ -148,6 +162,8 @@ class ExperimentRunner:
         specs = scenario.broker_specs()
         for spec in specs:
             network.add_broker(spec)
+        if self.fault_plan is not None:
+            network.install_faults(self.fault_plan, seed=self.seed)
         feeds = {
             symbol: StockQuoteFeed(symbol, self._rng)
             for symbol in scenario.symbols
@@ -203,16 +219,19 @@ class ExperimentRunner:
     # Approach factories
     # ------------------------------------------------------------------
     def _allocator_factory(self, approach: str):
-        if approach == "fbf":
-            rng = self._rng.child("fbf")
-            return lambda: FbfAllocator(rng=rng)
-        if approach == "binpacking":
-            return BinPackingAllocator
-        if approach.startswith("cram-"):
-            metric = approach.split("-", 1)[1]
-            budget = self.cram_failure_budget
-            return lambda: CramAllocator(metric=metric, failure_budget=budget)
-        raise ValueError(f"no allocator for approach {approach!r}")
+        """Resolve a registry allocator with this experiment's knobs.
+
+        Every registered builder receives the same knob set and picks
+        what it understands; the derived RNG child is keyed by the
+        approach name so streams stay independent per allocator.
+        """
+        if not allocators.is_registered(approach):
+            raise ValueError(f"no allocator for approach {approach!r}")
+        return allocators.get(
+            approach,
+            rng=self._rng.child(approach),
+            failure_budget=self.cram_failure_budget,
+        )
 
     def croc_for(self, approach: str, overlay_builder: Optional[OverlayBuilder] = None) -> Croc:
         factory = self._allocator_factory(approach)
@@ -229,8 +248,9 @@ class ExperimentRunner:
     def run(self, approach: str,
             overlay_builder: Optional[OverlayBuilder] = None) -> ExperimentResult:
         """Execute the full pipeline for one approach."""
-        if approach not in APPROACHES:
-            raise ValueError(f"unknown approach {approach!r}; pick from {APPROACHES}")
+        known = available_approaches()
+        if approach not in known:
+            raise ValueError(f"unknown approach {approach!r}; pick from {known}")
         scenario = self.scenario
         network = self._build_network()
         self.network = network
@@ -267,7 +287,13 @@ class ExperimentRunner:
             report = croc.reconfigure(network, settle_time=SETTLE_TIME)
             self.last_gather = report.gather
             computation = report.computation_seconds
-            allocated = report.allocated_brokers
+            # A rolled-back reconfiguration leaves the previous overlay
+            # running; count the brokers actually serving traffic.
+            allocated = (
+                report.allocated_brokers
+                if report.applied
+                else len(network.active_brokers)
+            )
             summary = self._measure(network, pool, bandwidths)
             extra["phase2_brokers"] = report.allocation.broker_count
             if approach.startswith("cram-"):

@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.experiments.runner import ExperimentResult, ExperimentRunner
+from repro.sim.faults import FaultPlan
 from repro.workloads.scenarios import (
     Scenario,
     cluster_heterogeneous,
@@ -25,10 +26,12 @@ def run_cell(
     approach: str,
     seed: int = 2011,
     cram_failure_budget: Optional[int] = 150,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> ExperimentResult:
     """One (scenario, approach) measurement."""
     runner = ExperimentRunner(
-        scenario, seed=seed, cram_failure_budget=cram_failure_budget
+        scenario, seed=seed, cram_failure_budget=cram_failure_budget,
+        fault_plan=fault_plan,
     )
     return runner.run(approach)
 
@@ -38,6 +41,7 @@ def sweep(
     approaches: Sequence[str],
     seed: int = 2011,
     progress: Optional[Callable[[str], None]] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> Dict[Tuple[str, str], ExperimentResult]:
     """Run the full (scenario × approach) matrix."""
     results: Dict[Tuple[str, str], ExperimentResult] = {}
@@ -46,7 +50,7 @@ def sweep(
             if progress is not None:
                 progress(f"{scenario.name} / {approach}")
             results[(scenario.name, approach)] = run_cell(
-                scenario, approach, seed=seed
+                scenario, approach, seed=seed, fault_plan=fault_plan
             )
     return results
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from repro.pubsub.client import DualClient, PublisherClient, SubscriberClient
 from repro.pubsub.delay_estimation import DelayModelEstimator
+from repro.pubsub.faults import FaultInjector
 from repro.pubsub.message import Advertisement, Publication, Subscription
 from repro.pubsub.predicate import Operator, Predicate
 from repro.pubsub.network import PubSubNetwork
@@ -28,5 +29,6 @@ __all__ = [
     "PublisherClient",
     "SubscriberClient",
     "DelayModelEstimator",
+    "FaultInjector",
     "MessageTracer",
 ]

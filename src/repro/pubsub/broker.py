@@ -26,7 +26,7 @@ quantities CROC reasons about:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Set, Tuple
+from typing import Any, Dict, Optional, Set, Tuple
 
 from repro.core.capacity import BrokerSpec
 from repro.pubsub.cbc import CrocBackendComponent
@@ -52,11 +52,18 @@ Destination = Tuple[str, str]  # (CLIENT|BROKER, identifier)
 
 @dataclass
 class _PendingBir:
-    """Aggregation state for one in-flight BIR (paper §III-A)."""
+    """Aggregation state for one in-flight BIR (paper §III-A).
+
+    ``timer`` is the aggregation deadline event: if a downstream
+    subtree never answers (crashed broker, cut link), the broker
+    answers with whatever reports it has rather than stalling CROC's
+    gather forever.
+    """
 
     requester: Destination
     pending: Set[str]
     reports: Dict[str, BrokerReport]
+    timer: Optional[Any] = None
 
 
 class Broker:
@@ -139,6 +146,10 @@ class Broker:
         self._sim.schedule_at(done, lambda: self._process(message, source))
 
     def _process(self, message: Any, source: Destination) -> None:
+        if self._network.broker_is_down(self.broker_id):
+            # The process died while this message sat in the CPU queue.
+            self._metrics.on_fault_drop(isinstance(message, Publication))
+            return
         if isinstance(message, Publication):
             self._handle_publication(message, source)
         elif isinstance(message, Subscription):
@@ -336,6 +347,12 @@ class Broker:
         if not downstream:
             self._answer_bir(request.request_id)
             return
+        # A crashed downstream subtree would otherwise stall this
+        # aggregation forever; answer with a partial set at the deadline.
+        state.timer = self._sim.schedule(
+            self._network.bir_timeout,
+            lambda: self._bir_deadline(request.request_id),
+        )
         for neighbor in sorted(downstream):
             self._transmit((BROKER, neighbor), request, CONTROL_MESSAGE_KB)
 
@@ -349,8 +366,15 @@ class Broker:
         if not state.pending:
             self._answer_bir(answer.request_id)
 
+    def _bir_deadline(self, request_id: int) -> None:
+        """Aggregation timeout: answer with whatever reports arrived."""
+        if request_id in self._pending_bir:
+            self._answer_bir(request_id)
+
     def _answer_bir(self, request_id: int) -> None:
         state = self._pending_bir.pop(request_id)
+        if state.timer is not None:
+            state.timer.cancel()
         reports = dict(state.reports)
         reports[self.broker_id] = self.cbc.report(
             self.spec, self._sim.now,

@@ -37,7 +37,16 @@ class BrokerCounters:
 
 @dataclass
 class MetricsSummary:
-    """Steady-state measurements over one window."""
+    """Steady-state measurements over one window.
+
+    The availability block (``messages_lost`` … ``rollbacks``) is fed
+    by the fault-injection layer (:mod:`repro.pubsub.faults`) and the
+    robust CROC gather; without faults every counter is zero and
+    ``delivery_rate`` is 1.0.  Loss counters are per-window; the
+    control-plane lifecycle counters (crashes, recoveries, gather
+    retries, degraded plans, rollbacks) are cumulative because the
+    events they count happen *between* measurement windows.
+    """
 
     duration: float
     pool_size: int
@@ -52,6 +61,27 @@ class MetricsSummary:
     mean_utilization: float
     max_utilization: float
     per_broker_rates: Dict[str, float] = field(default_factory=dict)
+    messages_lost: int = 0
+    publications_lost: int = 0
+    broker_crashes: int = 0
+    broker_recoveries: int = 0
+    gather_retries: int = 0
+    degraded_plans: int = 0
+    rollbacks: int = 0
+
+    @property
+    def delivery_rate(self) -> float:
+        """Delivered fraction of publication traffic, vs fault drops.
+
+        ``delivered / (delivered + publications_lost)`` — a lower-bound
+        proxy for availability: a publication dropped in transit may
+        have fanned out to several subscribers, but each dropped copy
+        counts once.  1.0 when nothing was lost.
+        """
+        total = self.delivery_count + self.publications_lost
+        if total <= 0:
+            return 1.0
+        return self.delivery_count / total
 
     def as_row(self) -> Dict[str, float]:
         """Flat dict for the report tables."""
@@ -65,6 +95,20 @@ class MetricsSummary:
             "mean_hop_count": round(self.mean_hop_count, 4),
             "deliveries": self.delivery_count,
             "mean_utilization": round(self.mean_utilization, 4),
+            "delivery_rate": round(self.delivery_rate, 4),
+        }
+
+    def fault_row(self) -> Dict[str, float]:
+        """The availability counters as a flat dict (fault benches)."""
+        return {
+            "delivery_rate": round(self.delivery_rate, 4),
+            "publications_lost": self.publications_lost,
+            "messages_lost": self.messages_lost,
+            "broker_crashes": self.broker_crashes,
+            "broker_recoveries": self.broker_recoveries,
+            "gather_retries": self.gather_retries,
+            "degraded_plans": self.degraded_plans,
+            "rollbacks": self.rollbacks,
         }
 
 
@@ -79,6 +123,16 @@ class MetricsCollector:
         self._delay_max = 0.0
         self._hop_sum = 0
         self._delivery_count = 0
+        # Per-window fault losses.
+        self._messages_lost = 0
+        self._publications_lost = 0
+        # Cumulative control-plane lifecycle counters (reconfiguration
+        # happens between windows, so these survive reset_window).
+        self._broker_crashes = 0
+        self._broker_recoveries = 0
+        self._gather_retries = 0
+        self._degraded_plans = 0
+        self._rollbacks = 0
 
     # ------------------------------------------------------------------
     # Event hooks (called by brokers)
@@ -114,6 +168,33 @@ class MetricsCollector:
             self._delay_max = delay
 
     # ------------------------------------------------------------------
+    # Fault / availability hooks (fault injector and robust gather)
+    # ------------------------------------------------------------------
+    def on_fault_drop(self, is_publication: bool) -> None:
+        """A message was dropped by the fault layer (crash, link, loss)."""
+        self._messages_lost += 1
+        if is_publication:
+            self._publications_lost += 1
+
+    def on_broker_crash(self) -> None:
+        self._broker_crashes += 1
+
+    def on_broker_recovery(self) -> None:
+        self._broker_recoveries += 1
+
+    def on_gather_retry(self) -> None:
+        """A CROC gather attempt timed out and is being retried."""
+        self._gather_retries += 1
+
+    def on_degraded_plan(self) -> None:
+        """CROC planned from a partial gather (silent/cached brokers)."""
+        self._degraded_plans += 1
+
+    def on_rollback(self) -> None:
+        """A reconfiguration was aborted or rolled back mid-apply."""
+        self._rollbacks += 1
+
+    # ------------------------------------------------------------------
     # Windows
     # ------------------------------------------------------------------
     def reset_window(self) -> None:
@@ -124,6 +205,8 @@ class MetricsCollector:
         self._delay_max = 0.0
         self._hop_sum = 0
         self._delivery_count = 0
+        self._messages_lost = 0
+        self._publications_lost = 0
 
     @property
     def window_start(self) -> float:
@@ -181,4 +264,11 @@ class MetricsCollector:
             ),
             max_utilization=max(utilizations, default=0.0),
             per_broker_rates=per_broker_rates,
+            messages_lost=self._messages_lost,
+            publications_lost=self._publications_lost,
+            broker_crashes=self._broker_crashes,
+            broker_recoveries=self._broker_recoveries,
+            gather_retries=self._gather_retries,
+            degraded_plans=self._degraded_plans,
+            rollbacks=self._rollbacks,
         )

@@ -17,12 +17,20 @@ from repro.core.capacity import BrokerSpec
 from repro.core.deployment import Deployment
 from repro.pubsub.broker import BROKER, Broker, CLIENT, Destination
 from repro.pubsub.client import PublisherClient, SubscriberClient
+from repro.pubsub.faults import FaultInjector
 from repro.pubsub.message import Publication
 from repro.pubsub.metrics import MetricsCollector
 from repro.sim.engine import Simulator
+from repro.sim.faults import FaultPlan
 
 #: One-way link latency inside the data center (seconds).
 DEFAULT_LINK_LATENCY = 0.0005
+
+#: Virtual seconds a broker waits for its downstream BIA aggregation
+#: before answering a BIR with whatever reports arrived.  This is the
+#: per-broker timeout that keeps CROC's gather phase live when a
+#: subtree contains a crashed broker.
+DEFAULT_BIR_TIMEOUT = 2.0
 
 
 class PubSubNetwork:
@@ -34,12 +42,17 @@ class PubSubNetwork:
         link_latency: float = DEFAULT_LINK_LATENCY,
         profile_capacity: int = DEFAULT_CAPACITY,
         enable_covering: bool = False,
+        bir_timeout: float = DEFAULT_BIR_TIMEOUT,
     ):
         self.sim = sim if sim is not None else Simulator()
         self.metrics = MetricsCollector(self.sim)
         self.link_latency = link_latency
         self.profile_capacity = profile_capacity
         self.enable_covering = enable_covering
+        self.bir_timeout = bir_timeout
+        self.faults: Optional[FaultInjector] = None
+        #: The most recently applied deployment — CROC's rollback target.
+        self.last_deployment: Optional[Deployment] = None
         self.brokers: Dict[str, Broker] = {}
         self.publishers: Dict[str, PublisherClient] = {}
         self.subscribers: Dict[str, SubscriberClient] = {}
@@ -89,6 +102,27 @@ class PubSubNetwork:
         return [broker.spec for broker in self.brokers.values()]
 
     # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def install_faults(self, plan: FaultPlan, seed: int = 0) -> FaultInjector:
+        """Attach a :class:`FaultInjector` executing ``plan`` to this network.
+
+        Installing an *empty* plan is a strict no-op for the data path
+        (pinned by ``tests/test_fault_equivalence.py``).  A network
+        accepts at most one injector for its lifetime.
+        """
+        if self.faults is not None:
+            raise ValueError("fault injector already installed on this network")
+        injector = FaultInjector(self, plan, seed=seed)
+        injector.install()
+        self.faults = injector
+        return injector
+
+    def broker_is_down(self, broker_id: str) -> bool:
+        """True while the fault layer holds ``broker_id`` crashed."""
+        return self.faults is not None and self.faults.broker_down(broker_id)
+
+    # ------------------------------------------------------------------
     # Clients
     # ------------------------------------------------------------------
     def register_publisher(self, publisher: PublisherClient) -> None:
@@ -134,9 +168,15 @@ class PubSubNetwork:
             self.tracer.record(self.sim.now, "publish", client_id,
                                message.adv_id, message.message_id,
                                detail=f"-> {broker_id}")
-        broker = self.brokers[broker_id]
+        delay = self.link_latency
+        if self.faults is not None:
+            if self.faults.broker_down(broker_id) or self.faults.drop_in_transit():
+                self.metrics.on_fault_drop(isinstance(message, Publication))
+                return
+            delay += self.faults.extra_latency()
         self.sim.schedule(
-            self.link_latency, lambda: broker.receive(message, (CLIENT, client_id))
+            delay, lambda: self._arrive_at_broker(broker_id, message,
+                                                  (CLIENT, client_id))
         )
 
     def deliver(self, sender_broker: str, destination: Destination, message: Any,
@@ -144,19 +184,43 @@ class PubSubNetwork:
         """Complete a broker transmission after serialization + latency."""
         arrival = sent_at + self.link_latency
         kind, identifier = destination
+        if self.faults is not None:
+            if kind == BROKER and self.faults.link_down(sender_broker, identifier):
+                self.metrics.on_fault_drop(isinstance(message, Publication))
+                return
+            if self.faults.drop_in_transit():
+                self.metrics.on_fault_drop(isinstance(message, Publication))
+                return
+            arrival += self.faults.extra_latency()
         if kind == BROKER:
-            target = self.brokers[identifier]
             self.sim.schedule_at(
-                arrival, lambda: target.receive(message, (BROKER, sender_broker))
+                arrival, lambda: self._arrive_at_broker(
+                    identifier, message, (BROKER, sender_broker))
             )
         else:
             self.sim.schedule_at(
                 arrival, lambda: self._deliver_to_client(identifier, message)
             )
 
+    def _arrive_at_broker(self, broker_id: str, message: Any,
+                          source: Destination) -> None:
+        """Hand a message to a broker at its arrival time.
+
+        The down-check happens *at arrival*, not at send time: a broker
+        that crashes while a message is on the wire still loses it.
+        """
+        if self.broker_is_down(broker_id):
+            self.metrics.on_fault_drop(isinstance(message, Publication))
+            return
+        self.brokers[broker_id].receive(message, source)
+
     def register_control_client(self, client_id: str, callback) -> None:
         """Register an out-of-band client (e.g. CROC) with a message callback."""
         self._control_clients[client_id] = callback
+
+    def unregister_control_client(self, client_id: str) -> None:
+        """Drop a control client; late replies to it are discarded."""
+        self._control_clients.pop(client_id, None)
 
     def _deliver_to_client(self, client_id: str, message: Any) -> None:
         control = self._control_clients.get(client_id)
@@ -229,6 +293,7 @@ class PubSubNetwork:
             )
             self.brokers[broker_id].attach_client(publisher.client_id)
             publisher.attached(self, broker_id)
+        self.last_deployment = deployment
 
     def run(self, duration: float) -> None:
         """Advance virtual time by ``duration`` seconds."""

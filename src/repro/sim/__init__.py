@@ -11,6 +11,14 @@ exactly reproducible.
 from __future__ import annotations
 
 from repro.sim.engine import Event, Simulator
+from repro.sim.faults import FaultEvent, FaultPlan
 from repro.sim.rng import SeededRng, derive_seed
 
-__all__ = ["Event", "Simulator", "SeededRng", "derive_seed"]
+__all__ = [
+    "Event",
+    "Simulator",
+    "FaultEvent",
+    "FaultPlan",
+    "SeededRng",
+    "derive_seed",
+]

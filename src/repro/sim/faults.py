@@ -1,0 +1,237 @@
+"""Deterministic fault plans for the simulated overlay.
+
+A :class:`FaultPlan` is a *schedule* of infrastructure faults — broker
+crashes/recoveries and link failures — plus two continuous degradation
+knobs (per-transmission message loss and latency jitter).  Plans are
+pure data: they carry no network references and every stochastic
+choice (which brokers crash, which messages drop) derives from a
+:class:`~repro.sim.rng.SeededRng`, so a plan replayed on the same
+network produces bit-identical fault timelines.
+
+The :class:`~repro.pubsub.faults.FaultInjector` executes a plan on a
+live :class:`~repro.pubsub.network.PubSubNetwork`; an **empty** plan
+installed on a network is a strict no-op — allocations, metrics, and
+evaluation counters stay bit-identical to a run without any injector
+(pinned by ``tests/test_fault_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.sim.rng import SeededRng
+
+#: Fault event kinds.
+CRASH = "crash"
+RECOVER = "recover"
+LINK_DOWN = "link-down"
+LINK_UP = "link-up"
+
+_KINDS: Tuple[str, ...] = (CRASH, RECOVER, LINK_DOWN, LINK_UP)
+
+#: Stable tie-break order for events sharing a timestamp: recoveries
+#: before crashes so a zero-downtime flap never leaves a broker dead.
+_KIND_ORDER: Dict[str, int] = {RECOVER: 0, LINK_UP: 1, CRASH: 2, LINK_DOWN: 3}
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault: a kind, a virtual time, and a target.
+
+    ``target`` is ``(broker_id,)`` for crash/recover and the sorted
+    ``(a, b)`` pair for link events.
+    """
+
+    time: float
+    kind: str
+    target: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; pick from {_KINDS}")
+        if self.time < 0:
+            raise ValueError(f"fault time must be >= 0, got {self.time}")
+        arity = 2 if self.kind in (LINK_DOWN, LINK_UP) else 1
+        if len(self.target) != arity:
+            raise ValueError(
+                f"{self.kind} targets {arity} endpoint(s), got {self.target!r}"
+            )
+
+    @property
+    def sort_key(self) -> Tuple[float, int, Tuple[str, ...]]:
+        return (self.time, _KIND_ORDER[self.kind], self.target)
+
+
+@dataclass
+class FaultPlan:
+    """A deterministic fault schedule plus continuous degradation knobs.
+
+    Explicit events are added with the builder methods
+    (:meth:`crash`, :meth:`recover`, :meth:`link_down`, :meth:`link_up`);
+    ``crash_fraction`` additionally generates a seeded batch of broker
+    crashes once the broker population is known (:meth:`schedule_for`).
+
+    Parameters
+    ----------
+    loss_rate:
+        Probability that any single transmission (one link traversal)
+        is silently dropped.  ``0.0`` disables the loss draw entirely.
+    jitter:
+        Maximum extra one-way latency in seconds, drawn uniformly per
+        transmission.  ``0.0`` disables the jitter draw entirely.
+    crash_fraction:
+        Fraction of the broker population to crash (at least one broker
+        when positive), sampled deterministically from ``seed``.
+    crash_start / crash_stagger:
+        Virtual time of the first generated crash and the spacing
+        between consecutive ones.
+    downtime:
+        Seconds until a generated crash recovers; ``0`` means the
+        broker stays down for the rest of the run.
+    seed:
+        Master seed for victim sampling (the injector derives its own
+        transit stream from the seed it is installed with).
+    """
+
+    events: List[FaultEvent] = field(default_factory=list)
+    loss_rate: float = 0.0
+    jitter: float = 0.0
+    crash_fraction: float = 0.0
+    crash_start: float = 5.0
+    crash_stagger: float = 1.0
+    downtime: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1), got {self.loss_rate}")
+        if self.jitter < 0.0:
+            raise ValueError(f"jitter must be >= 0, got {self.jitter}")
+        if not 0.0 <= self.crash_fraction <= 1.0:
+            raise ValueError(
+                f"crash_fraction must be in [0, 1], got {self.crash_fraction}"
+            )
+
+    # ------------------------------------------------------------------
+    # Builder API (each returns self so plans chain fluently)
+    # ------------------------------------------------------------------
+    def crash(self, time: float, broker_id: str, downtime: float = 0.0) -> "FaultPlan":
+        """Crash ``broker_id`` at ``time``; recover after ``downtime`` if > 0."""
+        self.events.append(FaultEvent(time, CRASH, (broker_id,)))
+        if downtime > 0:
+            self.events.append(FaultEvent(time + downtime, RECOVER, (broker_id,)))
+        return self
+
+    def recover(self, time: float, broker_id: str) -> "FaultPlan":
+        self.events.append(FaultEvent(time, RECOVER, (broker_id,)))
+        return self
+
+    def link_down(self, time: float, first: str, second: str,
+                  downtime: float = 0.0) -> "FaultPlan":
+        """Cut the ``first``–``second`` link at ``time`` (both directions)."""
+        pair = tuple(sorted((first, second)))
+        self.events.append(FaultEvent(time, LINK_DOWN, pair))
+        if downtime > 0:
+            self.events.append(FaultEvent(time + downtime, LINK_UP, pair))
+        return self
+
+    def link_up(self, time: float, first: str, second: str) -> "FaultPlan":
+        self.events.append(FaultEvent(time, LINK_UP, tuple(sorted((first, second)))))
+        return self
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def is_empty(self) -> bool:
+        """True when installing this plan cannot perturb the run."""
+        return (
+            not self.events
+            and self.crash_fraction <= 0.0
+            and self.loss_rate <= 0.0
+            and self.jitter <= 0.0
+        )
+
+    def schedule_for(self, broker_ids: Sequence[str]) -> List[FaultEvent]:
+        """Materialize the full event schedule for a broker population.
+
+        Explicit events pass through unchanged; ``crash_fraction``
+        generates staggered crashes of a seeded sample of
+        ``broker_ids`` (recovering after ``downtime`` when set).  The
+        result is sorted by ``(time, kind, target)`` so injection order
+        is independent of construction order.
+        """
+        events = list(self.events)
+        if self.crash_fraction > 0.0 and broker_ids:
+            ordered = sorted(broker_ids)
+            count = min(
+                len(ordered), max(1, round(self.crash_fraction * len(ordered)))
+            )
+            rng = SeededRng(self.seed, "faults", "plan")
+            victims = rng.sample(ordered, count)
+            for index, broker_id in enumerate(victims):
+                crash_at = self.crash_start + index * self.crash_stagger
+                events.append(FaultEvent(crash_at, CRASH, (broker_id,)))
+                if self.downtime > 0:
+                    events.append(
+                        FaultEvent(crash_at + self.downtime, RECOVER, (broker_id,))
+                    )
+        return sorted(events, key=lambda event: event.sort_key)
+
+    # ------------------------------------------------------------------
+    # CLI spec parsing
+    # ------------------------------------------------------------------
+    _SPEC_KEYS = ("crash", "start", "stagger", "downtime", "loss", "jitter", "seed")
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "FaultPlan":
+        """Parse a compact ``key=value[,key=value...]`` fault spec.
+
+        Keys: ``crash`` (fraction of brokers to crash), ``start``
+        (first crash time), ``stagger`` (spacing), ``downtime``
+        (recovery delay, 0 = stay down), ``loss`` (per-transmission
+        drop probability), ``jitter`` (max extra latency, seconds),
+        ``seed`` (victim-sampling seed).  An empty spec or ``none``
+        yields an empty plan.
+
+        >>> FaultPlan.from_spec("crash=0.1,downtime=30,loss=0.01").loss_rate
+        0.01
+        """
+        plan = cls()
+        text = spec.strip()
+        if not text or text.lower() == "none":
+            return plan
+        for part in text.split(","):
+            if "=" not in part:
+                raise ValueError(
+                    f"malformed fault spec item {part!r} (expected key=value)"
+                )
+            key, _, raw = part.partition("=")
+            key = key.strip().lower()
+            raw = raw.strip()
+            if key not in cls._SPEC_KEYS:
+                raise ValueError(
+                    f"unknown fault spec key {key!r} (known: {', '.join(cls._SPEC_KEYS)})"
+                )
+            try:
+                value = int(raw) if key == "seed" else float(raw)
+            except ValueError as exc:
+                raise ValueError(f"fault spec {key}={raw!r} is not numeric") from exc
+            if key == "crash":
+                plan.crash_fraction = float(value)
+            elif key == "start":
+                plan.crash_start = float(value)
+            elif key == "stagger":
+                plan.crash_stagger = float(value)
+            elif key == "downtime":
+                plan.downtime = float(value)
+            elif key == "loss":
+                plan.loss_rate = float(value)
+            elif key == "jitter":
+                plan.jitter = float(value)
+            else:
+                plan.seed = int(value)
+        # Re-run the dataclass validation on the mutated fields.
+        plan.__post_init__()
+        return plan

@@ -6,6 +6,8 @@ import json
 import pytest
 
 from repro.experiments.cli import build_parser, main
+from repro.experiments.runner import available_approaches
+from repro.sim.faults import FaultPlan
 
 
 class TestParser:
@@ -25,6 +27,31 @@ class TestParser:
     def test_unknown_approach_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--approach", "magic"])
+
+    def test_approach_choices_come_from_the_registry(self):
+        for approach in available_approaches():
+            args = build_parser().parse_args(["run", "--approach", approach])
+            assert args.approach == [approach]
+
+    def test_faults_spec_parses_to_a_plan(self):
+        args = build_parser().parse_args(
+            ["run", "--faults", "crash=0.1,downtime=30,loss=0.01,seed=7"]
+        )
+        assert isinstance(args.faults, FaultPlan)
+        assert args.faults.crash_fraction == pytest.approx(0.1)
+        assert args.faults.downtime == pytest.approx(30.0)
+        assert args.faults.loss_rate == pytest.approx(0.01)
+        assert args.faults.seed == 7
+
+    def test_faults_defaults_to_no_plan(self):
+        assert build_parser().parse_args(["run"]).faults is None
+        assert build_parser().parse_args(["run", "--faults", "none"]).faults.is_empty
+
+    def test_bad_faults_spec_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--faults", "crash=lots"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--faults", "meteor=1"])
 
 
 class TestCommands:
@@ -65,3 +92,38 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "figure: brokers" in out
         assert "binpacking" in out
+
+    def test_run_continues_past_failing_cells_and_exits_nonzero(
+        self, monkeypatch, capsys
+    ):
+        import repro.experiments.cli as cli_module
+
+        real_run_cell = cli_module.run_cell
+
+        def flaky_run_cell(scenario, approach, **kwargs):
+            if approach == "binpacking":
+                raise RuntimeError("injected cell failure")
+            return real_run_cell(scenario, approach, **kwargs)
+
+        monkeypatch.setattr(cli_module, "run_cell", flaky_run_cell)
+        code = main([
+            "run", "--scenario", "homo", "--subs", "8", "--scale", "0.1",
+            "--approach", "binpacking", "--approach", "manual",
+            "--measurement-time", "10",
+        ])
+        assert code == 2
+        captured = capsys.readouterr()
+        # The surviving cell still ran and printed its row...
+        assert "manual" in captured.out
+        # ...and the failure is reported on stderr.
+        assert "1 cell(s) failed" in captured.err
+        assert "injected cell failure" in captured.err
+
+    def test_run_with_faults_reaches_the_runner(self, capsys):
+        code = main([
+            "run", "--scenario", "homo", "--subs", "8", "--scale", "0.1",
+            "--approach", "manual", "--measurement-time", "10",
+            "--faults", "none",
+        ])
+        assert code == 0
+        assert "manual" in capsys.readouterr().out

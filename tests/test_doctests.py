@@ -4,16 +4,20 @@ import doctest
 
 import pytest
 
+import repro.core.allocators
 import repro.core.bitvector
 import repro.core.profiles
 import repro.pubsub.predicate
 import repro.sim.engine
+import repro.sim.faults
 
 MODULES = (
+    repro.core.allocators,
     repro.core.bitvector,
     repro.core.profiles,
     repro.pubsub.predicate,
     repro.sim.engine,
+    repro.sim.faults,
 )
 
 

@@ -169,6 +169,35 @@ def test_allocator_signature_accepts_repo_allocators():
     assert findings == []
 
 
+def test_allocator_signature_reaches_registry_importing_modules():
+    """A plugin outside core/ is held to the contract once it imports
+    the registry — that import is how allocators get registered."""
+    body = (
+        "class PluginAllocator:\n"
+        "    def allocate(self, units, brokers):\n"
+        "        return None\n"
+    )
+    for import_line in (
+        "import repro.core.allocators\n",
+        "from repro.core.allocators import register\n",
+        "from repro.core import allocators\n",
+    ):
+        findings = findings_for(
+            "allocator-signature", import_line + body, EXPERIMENTS
+        )
+        assert findings, import_line
+    # Without the registry import the same module is out of scope.
+    assert findings_for("allocator-signature", body, EXPERIMENTS) == []
+    # And a registry-importing module with the right signature is clean.
+    conforming = (
+        "from repro.core import allocators\n"
+        "class PluginAllocator:\n"
+        "    def allocate(self, units, pool, directory):\n"
+        "        return None\n"
+    )
+    assert findings_for("allocator-signature", conforming, EXPERIMENTS) == []
+
+
 # ----------------------------------------------------------------------
 # Engine behaviour
 # ----------------------------------------------------------------------
