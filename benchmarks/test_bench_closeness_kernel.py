@@ -10,7 +10,7 @@ asserts the kernel's contract from both sides:
   (the exhaustive metric whose partner rows dominate) and ≥2x faster
   for IOU.
 
-Rows land in ``BENCH_closeness.json`` (see ``conftest.record_bench``)
+Rows land in ``BENCH_closeness_kernel.json`` (see ``conftest.record_bench``)
 so the trajectory of the speedup is machine-readable run over run.
 """
 
@@ -88,7 +88,7 @@ def test_kernel_speedup(benchmark, metric):
     speedup = naive_seconds / fused_seconds
     floor = MIN_SPEEDUP.get(metric, 1.0)
     record_bench(
-        "closeness",
+        "closeness_kernel",
         [
             {
                 "metric": metric,

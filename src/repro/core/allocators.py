@@ -112,6 +112,27 @@ for _metric in ("intersect", "xor", "ios", "iou"):
     register(f"cram-{_metric}", _cram_builder(_metric))
 del _metric
 
+#: Import-time snapshot of the built-in registrations.  Every Python
+#: process that imports this module gets exactly these, so a spawned
+#: pool worker only needs to be told about registrations *beyond* them
+#: (see :func:`custom_registrations` and repro.experiments.parallel).
+_BUILTIN_BUILDERS: Dict[str, AllocatorBuilder] = dict(_REGISTRY)
+
+
+def custom_registrations() -> Tuple[Tuple[str, AllocatorBuilder], ...]:
+    """Registrations beyond (or shadowing) the import-time built-ins.
+
+    Process-pool workers replay these to mirror the parent registry;
+    the builders must therefore be module-level callables so pickling
+    by reference works under the ``spawn`` start method (enforced by
+    reprolint's ``unpicklable-worker`` rule).
+    """
+    return tuple(
+        (name, builder)
+        for name, builder in _REGISTRY.items()
+        if _BUILTIN_BUILDERS.get(name) is not builder
+    )
+
 #: Aliases re-exported at the :mod:`repro.core` / :mod:`repro` level,
 #: where the short names would be ambiguous.
 register_allocator = register

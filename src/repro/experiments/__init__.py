@@ -8,9 +8,10 @@ from repro.experiments.continuous import (
     RateDrift,
     SubscriberChurn,
 )
+from repro.experiments.parallel import CellSpec, execute_cells, run_spec
 from repro.experiments.report import format_rows, reduction
 from repro.experiments.runner import APPROACHES, ExperimentResult, ExperimentRunner
-from repro.experiments.sweeps import FIGURES, figure_rows, run_cell, sweep
+from repro.experiments.sweeps import FIGURES, figure_rows, run_cell, sweep, sweep_specs
 from repro.experiments.visualize import (
     render_broker_loads,
     render_deployment,
@@ -19,8 +20,12 @@ from repro.experiments.visualize import (
 
 __all__ = [
     "APPROACHES",
+    "CellSpec",
     "ExperimentResult",
     "ExperimentRunner",
+    "execute_cells",
+    "run_spec",
+    "sweep_specs",
     "ContinuousReconfigurator",
     "CycleReport",
     "RateDrift",

@@ -1,0 +1,213 @@
+"""Deterministic process-pool execution of independent sweep cells.
+
+The paper's evaluation is a matrix of (scenario × approach) cells.
+Every cell is an isolated simulation: it builds its own network, seeds
+its own RNG streams from ``(seed, scenario.name, …)``, and touches no
+shared mutable state — so the matrix is embarrassingly parallel.  This
+module fans cells out to a pool of **spawned** worker processes and
+merges the results in submission order, with three guarantees:
+
+* **Bit-identity** — a cell's result is a pure function of its
+  :class:`CellSpec`, so ``execute_cells(specs, jobs=N)`` returns
+  exactly the rows, metric floats, and evaluation counters of the
+  serial path for every ``N`` (pinned by
+  ``tests/test_parallel_equivalence.py``).  The one exception is
+  ``computation_seconds``, a wall-clock *measurement* of the allocator
+  run, which is not part of the determinism contract.
+* **Spawn-safety** — workers start from a fresh interpreter (no
+  inherited fork state), re-import :mod:`repro`, and replay any
+  allocator registrations beyond the built-ins
+  (:func:`repro.core.allocators.custom_registrations`), so registry
+  approaches resolve inside workers.  Custom builders must be
+  module-level callables; unpicklable ones are rejected up front with
+  a pointed error instead of a cryptic pool crash.
+* **Graceful fallback** — ``jobs <= 1``, a single cell, or a platform
+  where the pool cannot start all run serially in-process, same code
+  path as :func:`repro.experiments.sweeps.run_cell`.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
+from dataclasses import dataclass
+from multiprocessing import get_context
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+from repro.core import allocators
+from repro.experiments.runner import ExperimentResult, ExperimentRunner
+from repro.sim.faults import FaultPlan
+from repro.workloads.scenarios import Scenario
+
+#: Registration list shipped to each worker: (name, builder) pairs.
+RegistrySnapshot = Tuple[Tuple[str, allocators.AllocatorBuilder], ...]
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One picklable (scenario, approach, seed, fault_plan) cell.
+
+    Carries everything a worker needs to reproduce the cell from
+    scratch; equal specs produce bit-identical results in any process.
+    """
+
+    scenario: Scenario
+    approach: str
+    seed: int = 2011
+    cram_failure_budget: Optional[int] = 150
+    fault_plan: Optional[FaultPlan] = None
+
+    @property
+    def label(self) -> str:
+        """The progress label, matching the serial sweep's format."""
+        return f"{self.scenario.name} / {self.approach}"
+
+
+def run_spec(spec: CellSpec) -> ExperimentResult:
+    """Execute one cell.  The worker-side entry point — and the serial
+    path: both funnel through here so they cannot drift apart."""
+    runner = ExperimentRunner(
+        spec.scenario,
+        seed=spec.seed,
+        cram_failure_budget=spec.cram_failure_budget,
+        fault_plan=spec.fault_plan,
+    )
+    return runner.run(spec.approach)
+
+
+def resolve_jobs(jobs: int) -> int:
+    """Normalize a ``--jobs`` value: ``0`` means one per CPU.
+
+    Uses the scheduler affinity mask where available (containers and
+    CI runners often expose fewer usable cores than ``cpu_count``).
+    """
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    if jobs == 0:
+        return usable_cpus()
+    return jobs
+
+
+def usable_cpus() -> int:
+    """CPUs this process may actually run on."""
+    affinity = getattr(os, "sched_getaffinity", None)
+    if affinity is not None:
+        try:
+            return max(1, len(affinity(0)))
+        except OSError:  # pragma: no cover - exotic platforms
+            pass
+    return max(1, os.cpu_count() or 1)
+
+
+def _ensure_spawnable(snapshot: RegistrySnapshot) -> None:
+    """Reject custom allocator builders a spawned worker cannot import."""
+    for name, builder in snapshot:
+        try:
+            pickle.dumps(builder)
+        except Exception as exc:
+            raise ValueError(
+                f"allocator {name!r} is registered with a builder that cannot "
+                f"be pickled for pool workers ({exc}); register a module-level "
+                "callable (not a lambda, closure, or locally defined function) "
+                "or run with jobs=1"
+            ) from None
+
+
+def _worker_init(snapshot: RegistrySnapshot) -> None:
+    """Per-worker setup: mirror the parent's non-built-in registrations."""
+    for name, builder in snapshot:
+        allocators.register(name, builder, replace=True)
+
+
+def _run_serial(
+    specs: Sequence[CellSpec],
+    progress: Optional[Callable[[str], None]],
+    return_exceptions: bool,
+) -> List[Union[ExperimentResult, BaseException]]:
+    results: List[Union[ExperimentResult, BaseException]] = []
+    for spec in specs:
+        if progress is not None:
+            progress(spec.label)
+        if return_exceptions:
+            try:
+                results.append(run_spec(spec))
+            except Exception as exc:
+                results.append(exc)
+        else:
+            results.append(run_spec(spec))
+    return results
+
+
+def execute_cells(
+    specs: Sequence[CellSpec],
+    jobs: int = 1,
+    progress: Optional[Callable[[str], None]] = None,
+    return_exceptions: bool = False,
+) -> List[Union[ExperimentResult, BaseException]]:
+    """Run every cell and return results in submission order.
+
+    Parameters
+    ----------
+    specs:
+        The cells, in the order their results should be returned.
+    jobs:
+        Worker process count; ``0`` = one per usable CPU, ``<= 1``
+        runs serially in-process.
+    progress:
+        Optional callback receiving each cell's label.  Serial mode
+        calls it just before the cell runs; parallel mode calls it as
+        results are collected, in the same deterministic order.
+    return_exceptions:
+        When set, a failing cell contributes its exception object in
+        place of a result instead of aborting the whole sweep (the
+        CLI's keep-going semantics).  Otherwise the first failure
+        propagates.
+    """
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(specs) <= 1:
+        return _run_serial(specs, progress, return_exceptions)
+
+    snapshot = allocators.custom_registrations()
+    _ensure_spawnable(snapshot)
+    try:
+        # spawn, not fork: workers must re-import repro from scratch so
+        # results cannot depend on inherited parent-process state.
+        context = get_context("spawn")
+        pool = ProcessPoolExecutor(
+            max_workers=min(jobs, len(specs)),
+            mp_context=context,
+            initializer=_worker_init,
+            initargs=(snapshot,),
+        )
+    except (OSError, ValueError, ImportError) as exc:
+        # Pool unavailable (no spawn support, process limits, …):
+        # degrade to the serial path rather than failing the sweep.
+        if progress is not None:
+            progress(f"[parallel] pool unavailable ({exc}); running serially")
+        return _run_serial(specs, progress, return_exceptions)
+
+    results: List[Union[ExperimentResult, BaseException]] = []
+    try:
+        with pool:
+            futures: List[Future] = [pool.submit(run_spec, spec) for spec in specs]
+            for spec, future in zip(specs, futures):
+                if progress is not None:
+                    progress(spec.label)
+                try:
+                    result: Union[ExperimentResult, BaseException] = future.result()
+                except BrokenExecutor:
+                    raise  # the pool itself died — handled below
+                except Exception as exc:
+                    if not return_exceptions:
+                        raise
+                    result = exc
+                results.append(result)
+    except BrokenExecutor as exc:
+        # Workers could not start or were killed (sandboxes, rlimits,
+        # OOM): cells are pure, so rerunning the whole batch serially
+        # yields the identical result set.
+        if progress is not None:
+            progress(f"[parallel] worker pool broke ({exc}); rerunning serially")
+        return _run_serial(specs, progress, return_exceptions)
+    return results

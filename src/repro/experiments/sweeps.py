@@ -7,9 +7,10 @@ benchmark harness, the command-line interface, and ad-hoc notebook use.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, cast
 
-from repro.experiments.runner import ExperimentResult, ExperimentRunner
+from repro.experiments.parallel import CellSpec, execute_cells, run_spec
+from repro.experiments.runner import ExperimentResult
 from repro.sim.faults import FaultPlan
 from repro.workloads.scenarios import (
     Scenario,
@@ -29,11 +30,25 @@ def run_cell(
     fault_plan: Optional[FaultPlan] = None,
 ) -> ExperimentResult:
     """One (scenario, approach) measurement."""
-    runner = ExperimentRunner(
-        scenario, seed=seed, cram_failure_budget=cram_failure_budget,
-        fault_plan=fault_plan,
-    )
-    return runner.run(approach)
+    return run_spec(CellSpec(
+        scenario=scenario, approach=approach, seed=seed,
+        cram_failure_budget=cram_failure_budget, fault_plan=fault_plan,
+    ))
+
+
+def sweep_specs(
+    scenarios: Sequence[Scenario],
+    approaches: Sequence[str],
+    seed: int = 2011,
+    fault_plan: Optional[FaultPlan] = None,
+) -> List[CellSpec]:
+    """The matrix's cells, in the canonical scenario-major order."""
+    return [
+        CellSpec(scenario=scenario, approach=approach, seed=seed,
+                 fault_plan=fault_plan)
+        for scenario in scenarios
+        for approach in approaches
+    ]
 
 
 def sweep(
@@ -42,17 +57,21 @@ def sweep(
     seed: int = 2011,
     progress: Optional[Callable[[str], None]] = None,
     fault_plan: Optional[FaultPlan] = None,
+    jobs: int = 1,
 ) -> Dict[Tuple[str, str], ExperimentResult]:
-    """Run the full (scenario × approach) matrix."""
-    results: Dict[Tuple[str, str], ExperimentResult] = {}
-    for scenario in scenarios:
-        for approach in approaches:
-            if progress is not None:
-                progress(f"{scenario.name} / {approach}")
-            results[(scenario.name, approach)] = run_cell(
-                scenario, approach, seed=seed, fault_plan=fault_plan
-            )
-    return results
+    """Run the full (scenario × approach) matrix.
+
+    ``jobs`` fans the independent cells out to a process pool
+    (``0`` = one worker per usable CPU); results are merged in the
+    serial order and are bit-identical to ``jobs=1`` — see
+    :mod:`repro.experiments.parallel` for the determinism contract.
+    """
+    specs = sweep_specs(scenarios, approaches, seed=seed, fault_plan=fault_plan)
+    cells = execute_cells(specs, jobs=jobs, progress=progress)
+    return {
+        (spec.scenario.name, spec.approach): cast(ExperimentResult, result)
+        for spec, result in zip(specs, cells)
+    }
 
 
 def figure_rows(

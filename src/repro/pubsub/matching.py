@@ -71,12 +71,30 @@ class MatchingIndex:
     value)`` pair; the rest live in a linear-scan fallback list.
 
     Entries carry an opaque payload (the routing destination).
+
+    Two auxiliary structures keep the hot paths cheap:
+
+    * ``_by_sub`` maps each subscription id to its entry keys, so
+      :meth:`remove_subscription` touches only that subscription's
+      buckets instead of scanning every entry (churn workloads would
+      otherwise go quadratic).
+    * a *probe cache* maps a publication's attribute-name tuple to the
+      subset of names that have any bucket at all.  Publications from
+      one publisher present the same name tuple on every hop, so the
+      repeat (publisher, broker) case reuses one precomputed probe
+      list per routing-table epoch instead of hashing every
+      ``(attribute, value)`` pair per message.
     """
 
     def __init__(self):
         self._buckets: Dict[Tuple[str, Hashable], List[Tuple[Subscription, Any]]] = {}
         self._fallback: List[Tuple[Subscription, Any]] = []
         self._keys: Dict[Tuple[str, Any], Optional[Tuple[str, Hashable]]] = {}
+        self._by_sub: Dict[str, List[Tuple[str, Any]]] = {}
+        #: attribute -> number of bucketed entries pinning it.
+        self._bucket_attrs: Dict[str, int] = {}
+        #: publication attribute-name tuple -> names worth probing.
+        self._probe_cache: Dict[Tuple[str, ...], Tuple[str, ...]] = {}
         self._size = 0
 
     @staticmethod
@@ -102,15 +120,25 @@ class MatchingIndex:
         if entry_key in self._keys:
             return
         self._keys[entry_key] = key
+        self._by_sub.setdefault(subscription.sub_id, []).append(entry_key)
         if key is None:
             self._fallback.append((subscription, payload))
         else:
             self._buckets.setdefault(key, []).append((subscription, payload))
+            attribute = key[0]
+            count = self._bucket_attrs.get(attribute, 0)
+            self._bucket_attrs[attribute] = count + 1
+            if count == 0:
+                self._probe_cache.clear()
         self._size += 1
 
     def remove_subscription(self, sub_id: str) -> None:
-        """Drop every entry of the given subscription."""
-        for entry_key in [k for k in self._keys if k[0] == sub_id]:
+        """Drop every entry of the given subscription.
+
+        O(entries-of-sub) via the ``sub_id -> entry keys`` side index
+        (plus the length of each touched bucket), not O(all entries).
+        """
+        for entry_key in self._by_sub.pop(sub_id, ()):
             key = self._keys.pop(entry_key)
             if key is None:
                 self._fallback = [
@@ -126,14 +154,38 @@ class MatchingIndex:
                 ]
                 if not self._buckets[key]:
                     del self._buckets[key]
+                attribute = key[0]
+                remaining = self._bucket_attrs[attribute] - 1
+                if remaining:
+                    self._bucket_attrs[attribute] = remaining
+                else:
+                    del self._bucket_attrs[attribute]
+                    self._probe_cache.clear()
             self._size -= 1
+
+    def _bucket_probes(self, publication: Publication) -> Tuple[str, ...]:
+        """The publication's attributes that can hit a bucket, in order.
+
+        Attributes without any bucketed subscription (``price``,
+        ``volume``, …) can never produce a bucket hit, so probing them
+        is pure dict-lookup waste; the surviving names are cached per
+        attribute-name tuple, which is constant per publisher feed.
+        """
+        names = tuple(publication.attributes)
+        probes = self._probe_cache.get(names)
+        if probes is None:
+            bucket_attrs = self._bucket_attrs
+            probes = tuple(name for name in names if name in bucket_attrs)
+            self._probe_cache[names] = probes
+        return probes
 
     def matching_payloads(self, publication: Publication) -> List[Any]:
         """Distinct payloads of subscriptions matching the publication."""
         found: List[Any] = []
         seen: Set[Any] = set()
-        for attribute, value in publication.attributes.items():
-            bucket = self._buckets.get((attribute, value))
+        attributes = publication.attributes
+        for attribute in self._bucket_probes(publication):
+            bucket = self._buckets.get((attribute, attributes[attribute]))
             if not bucket:
                 continue
             for subscription, payload in bucket:
@@ -157,8 +209,9 @@ class MatchingIndex:
         """
         found: List[Tuple[Subscription, Any]] = []
         seen_subs: Set[str] = set()
-        for attribute, value in publication.attributes.items():
-            bucket = self._buckets.get((attribute, value))
+        attributes = publication.attributes
+        for attribute in self._bucket_probes(publication):
+            bucket = self._buckets.get((attribute, attributes[attribute]))
             if not bucket:
                 continue
             for subscription, payload in bucket:

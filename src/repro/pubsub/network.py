@@ -56,6 +56,12 @@ class PubSubNetwork:
         self.brokers: Dict[str, Broker] = {}
         self.publishers: Dict[str, PublisherClient] = {}
         self.subscribers: Dict[str, SubscriberClient] = {}
+        #: Fan-out fast path: per-broker bound ``receive`` methods and
+        #: interned source tuples, reused across the millions of repeat
+        #: (publisher, broker) hops instead of re-allocated per message.
+        self._receive_of: Dict[str, Any] = {}
+        self._broker_sources: Dict[str, Destination] = {}
+        self._client_sources: Dict[str, Destination] = {}
         self._subscriber_of_sub: Dict[str, str] = {}
         self._links: set = set()
         self._active_brokers: Optional[List[str]] = None
@@ -73,6 +79,8 @@ class PubSubNetwork:
         broker = Broker(spec, self, self.profile_capacity,
                         covering_enabled=self.enable_covering)
         self.brokers[spec.broker_id] = broker
+        self._receive_of[spec.broker_id] = broker.receive
+        self._broker_sources[spec.broker_id] = (BROKER, spec.broker_id)
         return broker
 
     def connect_brokers(self, first: str, second: str) -> None:
@@ -168,16 +176,24 @@ class PubSubNetwork:
             self.tracer.record(self.sim.now, "publish", client_id,
                                message.adv_id, message.message_id,
                                detail=f"-> {broker_id}")
+        source = self._client_sources.get(client_id)
+        if source is None:
+            source = self._client_sources[client_id] = (CLIENT, client_id)
         delay = self.link_latency
         if self.faults is not None:
             if self.faults.broker_down(broker_id) or self.faults.drop_in_transit():
                 self.metrics.on_fault_drop(isinstance(message, Publication))
                 return
             delay += self.faults.extra_latency()
-        self.sim.schedule(
-            delay, lambda: self._arrive_at_broker(broker_id, message,
-                                                  (CLIENT, client_id))
-        )
+            self.sim.schedule(
+                delay, lambda: self._arrive_at_broker(broker_id, message, source)
+            )
+            return
+        # Fault-free fast path: no broker can be down at arrival, so the
+        # down-at-arrival indirection is skipped and the broker's bound
+        # receive method is reused directly.
+        receive = self._receive_of[broker_id]
+        self.sim.schedule(delay, lambda: receive(message, source))
 
     def deliver(self, sender_broker: str, destination: Destination, message: Any,
                 sent_at: float) -> None:
@@ -192,11 +208,23 @@ class PubSubNetwork:
                 self.metrics.on_fault_drop(isinstance(message, Publication))
                 return
             arrival += self.faults.extra_latency()
+            if kind == BROKER:
+                source = self._broker_sources[sender_broker]
+                self.sim.schedule_at(
+                    arrival, lambda: self._arrive_at_broker(
+                        identifier, message, source)
+                )
+            else:
+                self.sim.schedule_at(
+                    arrival, lambda: self._deliver_to_client(identifier, message)
+                )
+            return
         if kind == BROKER:
-            self.sim.schedule_at(
-                arrival, lambda: self._arrive_at_broker(
-                    identifier, message, (BROKER, sender_broker))
-            )
+            # Fault-free fast path: reuse the interned source tuple and
+            # the receiving broker's bound method for this repeat hop.
+            receive = self._receive_of[identifier]
+            source = self._broker_sources[sender_broker]
+            self.sim.schedule_at(arrival, lambda: receive(message, source))
         else:
             self.sim.schedule_at(
                 arrival, lambda: self._deliver_to_client(identifier, message)

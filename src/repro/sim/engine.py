@@ -4,6 +4,19 @@ The engine is a priority queue of timestamped callbacks.  Ties are
 broken by insertion order, which keeps runs bit-for-bit reproducible
 regardless of hash randomization or dict ordering quirks.
 
+Two fast paths keep the event loop cheap at scale without changing
+the execution order:
+
+* **Same-timestamp batching** — once an event fires, every further
+  event sharing its timestamp is drained in one inner loop that skips
+  the ``until``-bound re-check and the clock write (clustered arrivals
+  are the common case under fixed link latency).
+* **Cancelled-event compaction** — cancellations are O(1) flag flips,
+  but each cancelled event still costs a heap pop later.  The engine
+  counts cancellations still in the heap and rebuilds the heap without
+  them once they dominate, so cancel-heavy workloads (BIR aggregation
+  timers, retry deadlines) stop paying per-corpse log-time pops.
+
 Example
 -------
 >>> sim = Simulator()
@@ -21,6 +34,12 @@ import heapq
 import itertools
 from typing import Callable, List, Optional, Tuple
 
+#: Compaction threshold: rebuild the heap once at least this many
+#: cancelled events linger in it *and* they make up half the heap.
+#: The floor keeps tiny heaps from compacting constantly; the ratio
+#: keeps compaction amortized O(1) per cancellation.
+COMPACT_MIN_CANCELLED = 64
+
 
 class SimulationError(Exception):
     """Raised when the engine is used inconsistently."""
@@ -31,19 +50,30 @@ class Event:
 
     Events are returned by :meth:`Simulator.schedule` and can be
     cancelled before they fire.  A cancelled event stays in the heap but
-    is skipped when popped, which keeps cancellation O(1).
+    is skipped when popped, which keeps cancellation O(1); the owning
+    simulator counts still-queued cancellations so it can compact the
+    heap when they pile up.
     """
 
-    __slots__ = ("time", "callback", "cancelled")
+    __slots__ = ("time", "callback", "cancelled", "_sim")
 
-    def __init__(self, time: float, callback: Callable[[], None]):
+    def __init__(self, time: float, callback: Callable[[], None],
+                 sim: Optional["Simulator"] = None):
         self.time = time
         self.callback = callback
         self.cancelled = False
+        #: Owning simulator while the event is queued; cleared when the
+        #: event leaves the heap so late cancels don't skew the count.
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        sim = self._sim
+        if sim is not None:
+            sim._note_cancelled()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
@@ -65,6 +95,7 @@ class Simulator:
         self._sequence = itertools.count()
         self._running = False
         self._events_processed = 0
+        self._cancelled_in_heap = 0
 
     @property
     def now(self) -> float:
@@ -78,8 +109,14 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of events still queued, including cancelled ones."""
+        """Number of events still queued (cancelled events included
+        until the next compaction removes them)."""
         return len(self._heap)
+
+    @property
+    def cancelled_pending(self) -> int:
+        """Cancelled events still occupying heap slots."""
+        return self._cancelled_in_heap
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` to run ``delay`` seconds from now."""
@@ -93,9 +130,33 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time} before current time t={self._now}"
             )
-        event = Event(time, callback)
+        event = Event(time, callback, self)
         heapq.heappush(self._heap, (time, next(self._sequence), event))
         return event
+
+    def _note_cancelled(self) -> None:
+        """Record one more cancelled-but-queued event (see :meth:`Event.cancel`)."""
+        self._cancelled_in_heap += 1
+
+    def _maybe_compact(self) -> None:
+        """Drop cancelled events once they dominate the heap.
+
+        Rebuilding filters corpses and re-heapifies in place; the
+        (time, sequence) total order is untouched, so pop order — and
+        therefore every simulation outcome — is exactly preserved.
+        """
+        cancelled = self._cancelled_in_heap
+        if cancelled < COMPACT_MIN_CANCELLED or 2 * cancelled < len(self._heap):
+            return
+        heap = self._heap
+        live = [entry for entry in heap if not entry[2].cancelled]
+        for entry in heap:
+            event = entry[2]
+            if event.cancelled:
+                event._sim = None
+        heap[:] = live
+        heapq.heapify(heap)
+        self._cancelled_in_heap = 0
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         """Run events in timestamp order.
@@ -114,21 +175,52 @@ class Simulator:
             raise SimulationError("simulator is not reentrant")
         self._running = True
         executed = 0
+        heap = self._heap
+        pop = heapq.heappop
+        processed = self._events_processed
         try:
-            while self._heap:
-                time, _seq, event = self._heap[0]
+            while heap:
+                if self._cancelled_in_heap >= COMPACT_MIN_CANCELLED:
+                    self._maybe_compact()
+                    if not heap:
+                        break
+                time, _seq, event = heap[0]
                 if until is not None and time > until:
                     break
-                heapq.heappop(self._heap)
+                pop(heap)
                 if event.cancelled:
+                    self._cancelled_in_heap -= 1
+                    event._sim = None
                     continue
+                event._sim = None
                 self._now = time
                 event.callback()
-                self._events_processed += 1
+                processed += 1
                 executed += 1
                 if max_events is not None and executed >= max_events:
                     break
+                # Same-timestamp batch: ties are within any until-bound
+                # by construction, so drain them without re-checking it
+                # or rewriting the clock.  Ties scheduled *by* a batched
+                # callback carry a later sequence number and are reached
+                # by this same loop, preserving insertion order.
+                while heap and heap[0][0] == time:
+                    event = pop(heap)[2]
+                    if event.cancelled:
+                        self._cancelled_in_heap -= 1
+                        event._sim = None
+                        continue
+                    event._sim = None
+                    event.callback()
+                    processed += 1
+                    executed += 1
+                    if max_events is not None and executed >= max_events:
+                        break
+                else:
+                    continue
+                break  # max_events hit inside the batch loop
         finally:
+            self._events_processed = processed
             self._running = False
         if until is not None and self._now < until:
             self._now = until

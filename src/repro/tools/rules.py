@@ -369,3 +369,120 @@ def check_allocator_signature(module: Module) -> Iterator[Finding]:
                         "interchangeable-scheme contract is "
                         "allocate(self, units, pool, directory)",
                     )
+
+
+# ----------------------------------------------------------------------
+# Rule 9 — process-pool workers must be spawn-picklable
+# ----------------------------------------------------------------------
+
+#: Pool methods whose first positional argument is the worker callable.
+_POOL_SUBMIT_METHODS = {
+    "submit",
+    "apply_async",
+    "map_async",
+    "imap",
+    "imap_unordered",
+}
+
+#: Pool/process constructors and the keyword that carries a callable
+#: shipped to the child process.
+_POOL_CALLABLE_KWARGS = {
+    "ProcessPoolExecutor": ("initializer",),
+    "Pool": ("initializer",),
+    "Process": ("target",),
+}
+
+
+class _LocalCallableScan(ast.NodeVisitor):
+    """Names in a module that name a callable pickle cannot ship.
+
+    Spawned workers unpickle callables *by module reference*
+    (``module.qualname``), so lambdas and functions defined inside
+    another function fail at submit time with an opaque pool crash.
+    """
+
+    def __init__(self) -> None:
+        self.depth = 0
+        self.nested: Set[str] = set()
+        self.lambda_names: Set[str] = set()
+
+    def _visit_def(self, node: ast.AST) -> None:
+        if self.depth:
+            self.nested.add(node.name)  # type: ignore[attr-defined]
+        self.depth += 1
+        self.generic_visit(node)
+        self.depth -= 1
+
+    visit_FunctionDef = _visit_def
+    visit_AsyncFunctionDef = _visit_def
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if isinstance(node.value, ast.Lambda):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self.lambda_names.add(target.id)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if isinstance(node.value, ast.Lambda) and isinstance(node.target, ast.Name):
+            self.lambda_names.add(node.target.id)
+        self.generic_visit(node)
+
+
+def _unpicklable_reason(node: ast.AST, scan: _LocalCallableScan) -> Optional[str]:
+    if isinstance(node, ast.Lambda):
+        return "a lambda"
+    if isinstance(node, ast.Name):
+        if node.id in scan.nested:
+            return f"locally defined function {node.id!r}"
+        if node.id in scan.lambda_names:
+            return f"lambda-valued name {node.id!r}"
+    return None
+
+
+@rule(
+    "unpicklable-worker",
+    "callables handed to a process pool must be module-level "
+    "(spawn pickles workers by reference)",
+)
+def check_unpicklable_worker(module: Module) -> Iterator[Finding]:
+    scan = _LocalCallableScan()
+    scan.visit(module.tree)
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _POOL_SUBMIT_METHODS
+            and node.args
+        ):
+            reason = _unpicklable_reason(node.args[0], scan)
+            if reason:
+                yield module.finding(
+                    node,
+                    "unpicklable-worker",
+                    f"{reason} passed to .{func.attr}(); spawned pool workers "
+                    "unpickle callables by module reference — pass a "
+                    "module-level function",
+                )
+        if isinstance(func, ast.Attribute):
+            callee = func.attr
+        elif isinstance(func, ast.Name):
+            callee = func.id
+        else:
+            continue
+        callable_kwargs = _POOL_CALLABLE_KWARGS.get(callee)
+        if not callable_kwargs:
+            continue
+        for keyword in node.keywords:
+            if keyword.arg in callable_kwargs:
+                reason = _unpicklable_reason(keyword.value, scan)
+                if reason:
+                    yield module.finding(
+                        node,
+                        "unpicklable-worker",
+                        f"{reason} passed as {callee}({keyword.arg}=...); it "
+                        "cannot be pickled into a spawned child process — "
+                        "pass a module-level function",
+                    )

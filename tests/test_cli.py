@@ -97,15 +97,21 @@ class TestCommands:
         self, monkeypatch, capsys
     ):
         import repro.experiments.cli as cli_module
+        from repro.experiments.parallel import run_spec
 
-        real_run_cell = cli_module.run_cell
+        def flaky_execute_cells(specs, jobs=1, progress=None,
+                                return_exceptions=False):
+            results = []
+            for spec in specs:
+                if progress is not None:
+                    progress(spec.label)
+                if spec.approach == "binpacking":
+                    results.append(RuntimeError("injected cell failure"))
+                else:
+                    results.append(run_spec(spec))
+            return results
 
-        def flaky_run_cell(scenario, approach, **kwargs):
-            if approach == "binpacking":
-                raise RuntimeError("injected cell failure")
-            return real_run_cell(scenario, approach, **kwargs)
-
-        monkeypatch.setattr(cli_module, "run_cell", flaky_run_cell)
+        monkeypatch.setattr(cli_module, "execute_cells", flaky_execute_cells)
         code = main([
             "run", "--scenario", "homo", "--subs", "8", "--scale", "0.1",
             "--approach", "binpacking", "--approach", "manual",

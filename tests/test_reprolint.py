@@ -86,6 +86,18 @@ RULE_CASES = {
         "    def allocate(self, units, brokers):  # reprolint: disable=allocator-signature\n"
         "        return None\n",
     ),
+    "unpicklable-worker": (
+        "def launch(pool, spec):\n"
+        "    return pool.submit(lambda: spec)\n",
+        EXPERIMENTS,
+        "def run_spec(spec):\n"
+        "    return spec\n"
+        "\n"
+        "def launch(pool, specs):\n"
+        "    return [pool.submit(run_spec, spec) for spec in specs]\n",
+        "def launch(pool, spec):\n"
+        "    return pool.submit(lambda: spec)  # reprolint: disable=unpicklable-worker\n",
+    ),
 }
 
 
@@ -198,6 +210,50 @@ def test_allocator_signature_reaches_registry_importing_modules():
     assert findings_for("allocator-signature", conforming, EXPERIMENTS) == []
 
 
+def test_unpicklable_worker_flags_nested_function():
+    source = (
+        "def launch(pool):\n"
+        "    def work():\n"
+        "        return 1\n"
+        "    return pool.submit(work)\n"
+    )
+    findings = findings_for("unpicklable-worker", source, EXPERIMENTS)
+    assert findings and "locally defined function 'work'" in findings[0].message
+
+
+def test_unpicklable_worker_flags_lambda_valued_name():
+    source = "work = lambda: 1\n\ndef launch(pool):\n    return pool.submit(work)\n"
+    findings = findings_for("unpicklable-worker", source, EXPERIMENTS)
+    assert findings and "lambda-valued name 'work'" in findings[0].message
+
+
+def test_unpicklable_worker_flags_pool_constructor_kwargs():
+    for source in (
+        "def boot(snapshot):\n"
+        "    return ProcessPoolExecutor(initializer=lambda: snapshot)\n",
+        "def boot():\n"
+        "    def init():\n"
+        "        return None\n"
+        "    return multiprocessing.Process(target=init)\n",
+    ):
+        assert findings_for("unpicklable-worker", source, EXPERIMENTS), source
+
+
+def test_unpicklable_worker_ignores_non_pool_callables():
+    for source in (
+        # lambdas to plain containers / non-pool methods are fine
+        "def gather(out):\n    out.append(lambda: 1)\n",
+        # sorting keys, progress callbacks, etc. are not pool workers
+        "def order(rows):\n    return sorted(rows, key=lambda row: row[0])\n",
+        # module-level initializer is picklable by reference
+        "def init():\n    return None\n"
+        "\n"
+        "def boot():\n"
+        "    return ProcessPoolExecutor(initializer=init)\n",
+    ):
+        assert findings_for("unpicklable-worker", source, EXPERIMENTS) == [], source
+
+
 # ----------------------------------------------------------------------
 # Engine behaviour
 # ----------------------------------------------------------------------
@@ -222,7 +278,7 @@ def test_unknown_rule_selection_raises():
         resolve_rules(["no-such-rule"])
 
 
-def test_registry_has_the_eight_rules():
+def test_registry_matches_rule_cases():
     names = {rule.name for rule in all_rules()}
     assert names == set(RULE_CASES)
 
