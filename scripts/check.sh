@@ -11,7 +11,16 @@ cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 echo "== tier-1 pytest =="
-python -m pytest -x -q
+# With pytest-cov available the same run also enforces the coverage
+# floor ([tool.coverage.report] fail_under) and leaves coverage.xml for
+# the CI artifact; without it the suite still gates correctness.
+if python -c "import pytest_cov" >/dev/null 2>&1; then
+    python -m pytest -x -q --cov=repro --cov-report=term \
+        --cov-report=xml:coverage.xml
+else
+    python -m pytest -x -q
+    echo "pytest-cov not installed; coverage floor skipped (pip install -e .[test])"
+fi
 
 echo "== reprolint (python -m repro.tools.lint src) =="
 python -m repro.tools.lint src

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 __version__ = "1.0.0"
 
-from repro import core, pubsub, sim, workloads
+from repro import core, obs, pubsub, sim, workloads
 from repro.core import (
     BinPackingAllocator,
     BitVector,
@@ -47,6 +47,7 @@ from repro.experiments.runner import (
     ExperimentRunner,
     available_approaches,
 )
+from repro.obs import Recorder, TimelineSampler
 from repro.pubsub.faults import FaultInjector
 from repro.sim.faults import FaultEvent, FaultPlan
 from repro.workloads import scenarios
@@ -57,6 +58,7 @@ from repro.workloads import scenarios
 __all__ = [
     # Subpackages
     "core",
+    "obs",
     "pubsub",
     "sim",
     "workloads",
@@ -90,5 +92,8 @@ __all__ = [
     "FaultEvent",
     "FaultInjector",
     "FaultPlan",
+    # Observability
+    "Recorder",
+    "TimelineSampler",
     "__version__",
 ]

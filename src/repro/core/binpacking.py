@@ -18,6 +18,7 @@ from repro.core.fbf import first_fit
 from repro.core.kernel import ClosenessKernel
 from repro.core.profiles import PublisherDirectory
 from repro.core.units import AllocationUnit
+from repro.obs import recorder as obs
 
 
 def decreasing_bandwidth(units: Sequence[AllocationUnit]) -> List[AllocationUnit]:
@@ -50,4 +51,5 @@ class BinPackingAllocator:
         pool: Iterable[BrokerSpec],
         directory: PublisherDirectory,
     ) -> AllocationResult:
-        return first_fit(decreasing_bandwidth(units), pool, directory, kernel=self.kernel)
+        with obs.span("binpacking.first_fit", units=len(units)):
+            return first_fit(decreasing_bandwidth(units), pool, directory, kernel=self.kernel)

@@ -46,6 +46,7 @@ from repro.core.poset import Poset
 from repro.core.profiles import PublisherDirectory, SubscriptionProfile
 from repro.core.relations import Relation, relationship
 from repro.core.units import AllocationUnit
+from repro.obs import recorder as obs
 
 #: Marker used in the partner table for "GIF paired with itself".
 SELF_PAIR = "self"
@@ -157,7 +158,9 @@ class CramAllocator:
         self.metric.attach_kernel(kernel)
         self._binpack.kernel = kernel
         try:
-            return self._clustering_run(units, pool, directory, stats, kernel)
+            with obs.span("cram.clustering", metric=self.metric.name,
+                          units=len(units), kernel=stats.kernel_used):
+                return self._clustering_run(units, pool, directory, stats, kernel)
         finally:
             if kernel is not None:
                 stats.kernel_fused_evaluations = kernel.fused_evaluations

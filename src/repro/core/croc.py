@@ -23,6 +23,8 @@ from repro.core.grape import GrapeRelocator
 from repro.core.overlay_builder import OverlayBuilder
 from repro.core.profiles import PublisherProfile
 from repro.core.units import SubscriptionRecord, units_from_records
+from repro.obs import collect as obs_collect
+from repro.obs import recorder as obs
 from repro.pubsub.message import (
     BrokerInformationAnswer,
     BrokerInformationRequest,
@@ -138,6 +140,26 @@ class Croc:
                timeout: Optional[float] = None, include_standby: bool = True,
                retries: Optional[int] = None, backoff: Optional[float] = None,
                use_cache: bool = True) -> GatherResult:
+        """Flood a BIR from one broker and await the aggregated BIA
+        (observability wrapper; see :meth:`_gather` for the protocol).
+        """
+        with obs.span("phase1.gather") as gather_span:
+            gathered = self._gather(
+                network, via_broker=via_broker, timeout=timeout,
+                include_standby=include_standby, retries=retries,
+                backoff=backoff, use_cache=use_cache,
+            )
+            gather_span.set(
+                attempts=gathered.attempts,
+                silent_brokers=len(gathered.silent_brokers),
+                records=len(gathered.records),
+            )
+            return gathered
+
+    def _gather(self, network, via_broker: Optional[str] = None,
+                timeout: Optional[float] = None, include_standby: bool = True,
+                retries: Optional[int] = None, backoff: Optional[float] = None,
+                use_cache: bool = True) -> GatherResult:
         """Flood a BIR from one broker and await the aggregated BIA.
 
         ``include_standby`` adds the specs of brokers the coordinator
@@ -258,15 +280,22 @@ class Croc:
         units = units_from_records(gathered.records, gathered.directory)
         allocator = self._allocator_factory()
         self.last_allocator = allocator
-        allocation = allocator.allocate(units, gathered.broker_pool, gathered.directory)
+        with obs.span("phase2.allocate", allocator=allocator.name,
+                      units=len(units)) as allocate_span:
+            allocation = allocator.allocate(
+                units, gathered.broker_pool, gathered.directory
+            )
+            allocate_span.set(success=allocation.success)
+            obs_collect.add_allocator(allocator)
         if not allocation.success:
             raise ReconfigurationError(
                 f"{self.approach}: subscription pool does not fit the broker pool "
                 f"(failed at unit {allocation.failed_unit!r})"
             )
-        tree = self.overlay_builder.build(
-            allocation, gathered.broker_pool, gathered.directory
-        )
+        with obs.span("phase3.overlay"):
+            tree = self.overlay_builder.build(
+                allocation, gathered.broker_pool, gathered.directory
+            )
         publisher_placement = self.grape.place_publishers(tree, gathered.directory)
         elapsed = time.perf_counter() - started
         deployment = Deployment(
@@ -296,30 +325,35 @@ class Croc:
         suboptimal one.  Either way ``report.applied`` is False and
         ``report.rollback_reason`` says what happened.
         """
-        gathered = self.gather(network)
-        report = self.plan(gathered)
-        previous = network.last_deployment
-        dead = self._dead_targets(network, report.deployment)
-        if dead:
-            report.applied = False
-            report.rollback_reason = (
-                f"target broker(s) {dead} down before apply; plan abandoned"
-            )
-            network.metrics.on_rollback()
-            return report
-        network.apply_deployment(report.deployment)
-        network.run(settle_time)
-        dead = self._dead_targets(network, report.deployment)
-        if dead:
-            report.applied = False
-            report.rollback_reason = (
-                f"target broker(s) {dead} died during apply; rolled back"
-            )
-            network.metrics.on_rollback()
-            if previous is not None:
-                network.apply_deployment(previous)
+        with obs.span("reconfigure", approach=self.approach) as outer_span:
+            gathered = self.gather(network)
+            report = self.plan(gathered)
+            previous = network.last_deployment
+            dead = self._dead_targets(network, report.deployment)
+            if dead:
+                report.applied = False
+                report.rollback_reason = (
+                    f"target broker(s) {dead} down before apply; plan abandoned"
+                )
+                network.metrics.on_rollback()
+                outer_span.set(applied=False, abandoned=True)
+                return report
+            with obs.span("phase3.apply"):
+                network.apply_deployment(report.deployment)
                 network.run(settle_time)
-        return report
+            dead = self._dead_targets(network, report.deployment)
+            if dead:
+                report.applied = False
+                report.rollback_reason = (
+                    f"target broker(s) {dead} died during apply; rolled back"
+                )
+                network.metrics.on_rollback()
+                with obs.span("phase3.rollback"):
+                    if previous is not None:
+                        network.apply_deployment(previous)
+                        network.run(settle_time)
+            outer_span.set(applied=report.applied)
+            return report
 
     @staticmethod
     def _dead_targets(network, deployment: Deployment) -> List[str]:

@@ -25,6 +25,7 @@ from repro.core.capacity import (
 from repro.core.kernel import ClosenessKernel
 from repro.core.profiles import PublisherDirectory
 from repro.core.units import EPSILON, AllocationUnit
+from repro.obs import recorder as obs
 from repro.sim.rng import SeededRng
 
 
@@ -163,5 +164,6 @@ class FbfAllocator:
         directory: PublisherDirectory,
     ) -> AllocationResult:
         """Allocate ``units`` onto ``pool`` in random draw order."""
-        order = self._rng.shuffled(units)
-        return first_fit(order, pool, directory, kernel=self.kernel)
+        with obs.span("fbf.first_fit", units=len(units)):
+            order = self._rng.shuffled(units)
+            return first_fit(order, pool, directory, kernel=self.kernel)

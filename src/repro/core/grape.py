@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.bitvector import BitVector
 from repro.core.deployment import BrokerTree
 from repro.core.profiles import PublisherDirectory, PublisherProfile
+from repro.obs import recorder as obs
 
 
 @dataclass
@@ -70,11 +71,12 @@ class GrapeRelocator:
         self, tree: BrokerTree, directory: PublisherDirectory
     ) -> Dict[str, str]:
         """adv_id → broker_id for every publisher in the directory."""
-        placement: Dict[str, str] = {}
-        for adv_id, publisher in directory.items():
-            decision = self.place_one(tree, adv_id, publisher)
-            placement[adv_id] = decision.broker_id
-        return placement
+        with obs.span("phase3.grape", publishers=len(directory)):
+            placement: Dict[str, str] = {}
+            for adv_id, publisher in directory.items():
+                decision = self.place_one(tree, adv_id, publisher)
+                placement[adv_id] = decision.broker_id
+            return placement
 
     def place_one(
         self, tree: BrokerTree, adv_id: str, publisher: PublisherProfile

@@ -28,6 +28,8 @@ from repro.core.croc import ReconfigurationError
 from repro.experiments.parallel import CellSpec, execute_cells
 from repro.experiments.report import format_rows
 from repro.experiments.runner import available_approaches
+from repro.obs import export as obs_export
+from repro.obs import report as obs_report
 from repro.experiments.sweeps import (
     FIGURES,
     figure_rows,
@@ -91,6 +93,11 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="worker processes for independent cells "
                              "(default 1 = serial; 0 = one per CPU); "
                              "results are bit-identical to serial")
+    parser.add_argument("--obs", metavar="PATH", default=None,
+                        help="record phase spans / counters / timelines "
+                             "and write them to PATH (JSONL, or JSON "
+                             "with a .json suffix); outputs stay "
+                             "bit-identical to an unobserved run")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -117,8 +124,30 @@ def build_parser() -> argparse.ArgumentParser:
     figure_cmd.add_argument("--approach", action="append", choices=approaches,
                             help="repeatable; default: all registered")
 
+    report_cmd = commands.add_parser(
+        "report", help="summarize a recorded artifact"
+    )
+    report_cmd.add_argument("kind", choices=["obs"],
+                            help="artifact type (obs = observation export)")
+    report_cmd.add_argument("path", help="export written by --obs")
+    report_cmd.add_argument("--no-wall", action="store_true",
+                            help="omit wall-clock columns (the remaining "
+                                 "summary is deterministic)")
+
     commands.add_parser("list", help="list approaches, figures, scenarios")
     return parser
+
+
+def _write_obs(path: str, labeled_results) -> None:
+    """Merge per-cell snapshots (submission order) and write the export."""
+    observations = [
+        (label, result.obs)
+        for label, result in labeled_results
+        if result.obs is not None
+    ]
+    records = obs_export.merge_observations(observations)
+    obs_export.write_export(path, records)
+    print(f"wrote {path}", file=sys.stderr)
 
 
 def cmd_run(args) -> int:
@@ -126,7 +155,7 @@ def cmd_run(args) -> int:
     scenarios = _build_scenarios(args)
     specs = [
         CellSpec(scenario=scenario, approach=approach, seed=args.seed,
-                 fault_plan=args.faults)
+                 fault_plan=args.faults, observe=bool(args.obs))
         for scenario in scenarios
         for approach in approaches
     ]
@@ -146,6 +175,12 @@ def cmd_run(args) -> int:
     if rows:
         print(format_rows(rows))
         _export(rows, args)
+    if args.obs:
+        _write_obs(args.obs, [
+            (f"{spec.scenario.name}/{spec.approach}", cell)
+            for spec, cell in zip(specs, cells)
+            if not isinstance(cell, BaseException)
+        ])
     if failures:
         print(f"{len(failures)} cell(s) failed:", file=sys.stderr)
         for scenario_name, approach, exc in failures:
@@ -163,6 +198,7 @@ def cmd_figure(args) -> int:
             progress=lambda label: print(f"running {label} ...", file=sys.stderr),
             fault_plan=args.faults,
             jobs=args.jobs,
+            observe=bool(args.obs),
         )
     except ReconfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -172,6 +208,26 @@ def cmd_figure(args) -> int:
     print(format_rows(rows))
     if rows:
         _export(rows, args)
+    if args.obs:
+        _write_obs(args.obs, [
+            (f"{scenario_name}/{approach}", result)
+            for (scenario_name, approach), result in results.items()
+        ])
+    return 0
+
+
+def cmd_report(args) -> int:
+    try:
+        records = obs_export.read_export(args.path)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read {args.path}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        summary = obs_report.summarize(records, include_wall=not args.no_wall)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(summary, end="")
     return 0
 
 
@@ -197,6 +253,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return cmd_run(args)
     if args.command == "figure":
         return cmd_figure(args)
+    if args.command == "report":
+        return cmd_report(args)
     return cmd_list(args)
 
 

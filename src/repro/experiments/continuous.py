@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from repro.core.croc import Croc, ReconfigurationError
+from repro.obs import recorder as obs
 from repro.pubsub.metrics import MetricsSummary
 from repro.pubsub.network import PubSubNetwork
 
@@ -88,31 +89,35 @@ class ContinuousReconfigurator:
         for cycle in range(cycles):
             if self.on_cycle_start is not None:
                 self.on_cycle_start(cycle)
-            network.run(self.profiling_time)
-            reconfigured = True
-            skipped = ""
-            subscriptions = 0
-            degraded = False
-            rolled_back = False
-            try:
-                report = self.croc.reconfigure(network)
-                subscriptions = report.gather.subscription_count
-                degraded = report.gather.degraded
-                if not report.applied:
-                    # Aborted / rolled back mid-apply; the previous
-                    # deployment keeps serving traffic.
+            with obs.span("cycle", index=cycle) as cycle_span:
+                with obs.span("cycle.profile"):
+                    network.run(self.profiling_time)
+                reconfigured = True
+                skipped = ""
+                subscriptions = 0
+                degraded = False
+                rolled_back = False
+                try:
+                    report = self.croc.reconfigure(network)
+                    subscriptions = report.gather.subscription_count
+                    degraded = report.gather.degraded
+                    if not report.applied:
+                        # Aborted / rolled back mid-apply; the previous
+                        # deployment keeps serving traffic.
+                        reconfigured = False
+                        rolled_back = True
+                        skipped = report.rollback_reason
+                except ReconfigurationError as exc:
+                    # Keep the current deployment; record why.
                     reconfigured = False
-                    rolled_back = True
-                    skipped = report.rollback_reason
-            except ReconfigurationError as exc:
-                # Keep the current deployment; record why.
-                reconfigured = False
-                skipped = str(exc)
-            network.metrics.reset_window()
-            network.run(self.measurement_time)
-            summary = network.metrics.summary(
-                len(pool), network.active_brokers, bandwidths
-            )
+                    skipped = str(exc)
+                network.metrics.reset_window()
+                with obs.span("cycle.measure"):
+                    network.run(self.measurement_time)
+                summary = network.metrics.summary(
+                    len(pool), network.active_brokers, bandwidths
+                )
+                cycle_span.set(reconfigured=reconfigured, rolled_back=rolled_back)
             self.reports.append(
                 CycleReport(
                     cycle=cycle,

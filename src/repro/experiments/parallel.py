@@ -37,6 +37,7 @@ from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 from repro.core import allocators
 from repro.experiments.runner import ExperimentResult, ExperimentRunner
+from repro.obs import recorder as obs
 from repro.sim.faults import FaultPlan
 from repro.workloads.scenarios import Scenario
 
@@ -57,6 +58,10 @@ class CellSpec:
     seed: int = 2011
     cram_failure_budget: Optional[int] = 150
     fault_plan: Optional[FaultPlan] = None
+    #: Attach a fresh :class:`repro.obs.Recorder` for this cell and
+    #: ship its snapshot back on ``result.obs``.  Does not change the
+    #: deterministic outputs (pinned by ``tests/test_obs_equivalence``).
+    observe: bool = False
 
     @property
     def label(self) -> str:
@@ -73,7 +78,12 @@ def run_spec(spec: CellSpec) -> ExperimentResult:
         cram_failure_budget=spec.cram_failure_budget,
         fault_plan=spec.fault_plan,
     )
-    return runner.run(spec.approach)
+    if not spec.observe:
+        return runner.run(spec.approach)
+    with obs.attached(obs.Recorder()) as recorder:
+        result = runner.run(spec.approach)
+    result.obs = recorder.snapshot()
+    return result
 
 
 def resolve_jobs(jobs: int) -> int:

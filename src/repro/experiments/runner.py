@@ -33,6 +33,9 @@ from repro.core.grape import GrapeRelocator
 from repro.core.overlay_builder import OverlayBuilder
 from repro.core.pairwise import PairwiseKAllocator, PairwiseNAllocator
 from repro.core.units import units_from_records
+from repro.obs import collect as obs_collect
+from repro.obs import recorder as obs
+from repro.obs.timeline import TimelineSampler
 from repro.pubsub.client import PublisherClient, SubscriberClient
 from repro.pubsub.metrics import MetricsSummary
 from repro.pubsub.network import PubSubNetwork
@@ -82,6 +85,11 @@ class ExperimentResult:
     total_subscriptions: int
     cram_stats: Optional[CramStats] = None
     extra: Dict[str, float] = field(default_factory=dict)
+    #: ``Recorder.snapshot()`` of the run, when observability was on.
+    #: Deliberately excluded from :meth:`as_row` — span wall times are
+    #: wall-clock measurements, and the bit-identity contract compares
+    #: rows.
+    obs: Optional[Dict[str, object]] = None
 
     @property
     def message_rate_reduction(self) -> float:
@@ -254,6 +262,13 @@ class ExperimentRunner:
         scenario = self.scenario
         network = self._build_network()
         self.network = network
+        recorder = obs.active()
+        if recorder is not None:
+            # Virtual timestamps come from this network's engine; the
+            # sampler chunks ``network.run`` so timelines get sampled
+            # without touching the event order.
+            recorder.use_clock(lambda: network.sim.now)
+            network.obs_sampler = TimelineSampler(network, recorder)
         self._deploy_manual(network)
         network.run(scenario.derived_profiling_time())
         network.metrics.reset_window()
@@ -299,6 +314,7 @@ class ExperimentRunner:
             if approach.startswith("cram-"):
                 cram_stats = getattr(croc.last_allocator, "last_stats", None)
 
+        obs_collect.add_network(network)
         return ExperimentResult(
             approach=approach,
             scenario=scenario.name,

@@ -41,11 +41,12 @@ def sweep_specs(
     approaches: Sequence[str],
     seed: int = 2011,
     fault_plan: Optional[FaultPlan] = None,
+    observe: bool = False,
 ) -> List[CellSpec]:
     """The matrix's cells, in the canonical scenario-major order."""
     return [
         CellSpec(scenario=scenario, approach=approach, seed=seed,
-                 fault_plan=fault_plan)
+                 fault_plan=fault_plan, observe=observe)
         for scenario in scenarios
         for approach in approaches
     ]
@@ -58,6 +59,7 @@ def sweep(
     progress: Optional[Callable[[str], None]] = None,
     fault_plan: Optional[FaultPlan] = None,
     jobs: int = 1,
+    observe: bool = False,
 ) -> Dict[Tuple[str, str], ExperimentResult]:
     """Run the full (scenario × approach) matrix.
 
@@ -65,8 +67,10 @@ def sweep(
     (``0`` = one worker per usable CPU); results are merged in the
     serial order and are bit-identical to ``jobs=1`` — see
     :mod:`repro.experiments.parallel` for the determinism contract.
+    ``observe`` attaches a per-cell recorder (``result.obs``).
     """
-    specs = sweep_specs(scenarios, approaches, seed=seed, fault_plan=fault_plan)
+    specs = sweep_specs(scenarios, approaches, seed=seed, fault_plan=fault_plan,
+                        observe=observe)
     cells = execute_cells(specs, jobs=jobs, progress=progress)
     return {
         (spec.scenario.name, spec.approach): cast(ExperimentResult, result)

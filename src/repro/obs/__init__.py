@@ -1,0 +1,71 @@
+"""Deterministic observability: phase spans, counters, run timelines.
+
+Everything that reaches a deterministic output is driven by the
+simulator's virtual clock or by counters the simulation increments
+identically on every run; wall-clock time is recorded alongside but
+segregated (``include_wall``), mirroring the ``computation_s``
+precedent.  With no recorder attached every hook is a no-op and runs
+are bit-identical to an uninstrumented build — pinned by
+``tests/test_obs_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+# Import order matters: ``repro.obs.report`` pulls in the experiments
+# package, which imports back into ``repro.obs`` (runner attaches
+# recorders and samplers).  Loading the dependency-free submodules
+# first keeps that cycle harmless; instrumented modules likewise import
+# ``repro.obs.<submodule>`` directly rather than this facade.
+from repro.obs.recorder import (
+    NULL_SPAN,
+    ObsError,
+    Recorder,
+    Span,
+    SpanRecord,
+    active,
+    add,
+    attach,
+    attached,
+    detach,
+    span,
+)
+from repro.obs.timeline import DEFAULT_INTERVAL, TimelineSampler
+from repro.obs.export import (
+    SCHEMA_VERSION,
+    dumps_jsonl,
+    loads_jsonl,
+    merge_observations,
+    merged_counters,
+    read_export,
+    validate_records,
+    write_export,
+)
+from repro.obs.collect import add_allocator, add_network
+from repro.obs.report import summarize
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "DEFAULT_INTERVAL",
+    "NULL_SPAN",
+    "ObsError",
+    "Recorder",
+    "Span",
+    "SpanRecord",
+    "TimelineSampler",
+    "active",
+    "add",
+    "add_allocator",
+    "add_network",
+    "attach",
+    "attached",
+    "detach",
+    "dumps_jsonl",
+    "loads_jsonl",
+    "merge_observations",
+    "merged_counters",
+    "read_export",
+    "span",
+    "summarize",
+    "validate_records",
+    "write_export",
+]

@@ -1,0 +1,103 @@
+"""Pull existing hot-path counters into one namespaced registry.
+
+The simulation already counts the things the paper's claims hang on —
+kernel memo hits, closeness evaluations, heap compactions, matching
+probe-cache hits, fault drops — but each lives on its own object with
+its own spelling.  The helpers here read those counters (they are all
+plain deterministic ints, incremented identically with or without a
+recorder) and accumulate them into the active recorder under stable
+``namespace.name`` keys.
+
+Every helper is a cheap no-op when no recorder is attached, so call
+sites can stay unconditional.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.obs import recorder as _recorder
+from repro.obs.recorder import Recorder
+
+
+def engine_counters(sim) -> Dict[str, float]:
+    """Event-loop counters from a :class:`repro.sim.engine.Simulator`."""
+    return {
+        "engine.events_processed": sim.events_processed,
+        "engine.batched_events": sim.batched_events,
+        "engine.heap_compactions": sim.heap_compactions,
+    }
+
+
+def network_counters(network) -> Dict[str, float]:
+    """Engine, matching, fault, and metrics counters for one network."""
+    counters = engine_counters(network.sim)
+    probe_hits = 0
+    probe_misses = 0
+    for broker_id in sorted(network.brokers):
+        broker = network.brokers[broker_id]
+        probe_hits += broker.probe_cache_hits
+        probe_misses += broker.probe_cache_misses
+    counters["matching.probe_cache_hits"] = probe_hits
+    counters["matching.probe_cache_misses"] = probe_misses
+    if network.faults is not None:
+        counters["faults.crashes"] = network.faults.crashes
+        counters["faults.recoveries"] = network.faults.recoveries
+        counters["faults.drops"] = network.faults.drops
+    metrics = network.metrics
+    counters.update({
+        "metrics.deliveries": metrics.delivery_count,
+        "metrics.messages_lost": metrics.messages_lost,
+        "metrics.publications_lost": metrics.publications_lost,
+        "metrics.gather_retries": metrics.gather_retries,
+        "metrics.degraded_plans": metrics.degraded_plans,
+        "metrics.rollbacks": metrics.rollbacks,
+    })
+    return counters
+
+
+def allocator_counters(allocator) -> Dict[str, float]:
+    """CRAM clustering / kernel counters for one finished ``allocate``.
+
+    Non-CRAM allocators (no ``last_stats``) contribute nothing — their
+    work is visible through their phase spans instead.
+    """
+    stats = getattr(allocator, "last_stats", None)
+    if stats is None:
+        return {}
+    counters: Dict[str, float] = {
+        "cram.iterations": stats.iterations,
+        "cram.merges": stats.merges,
+        "cram.failures": stats.failures,
+        "cram.binpack_runs": stats.binpack_runs,
+        "cram.closeness_evaluations": stats.closeness_evaluations,
+        "cram.initial_search_evaluations": stats.initial_search_evaluations,
+    }
+    if stats.kernel_used:
+        counters["kernel.fused_evaluations"] = stats.kernel_fused_evaluations
+        counters["kernel.memo_hits"] = stats.kernel_memo_hits
+        counters["kernel.fallback_evaluations"] = stats.kernel_fallback_evaluations
+    return counters
+
+
+def _accumulate(recorder: Optional[Recorder], counters: Dict[str, float]) -> None:
+    if recorder is None:
+        return
+    for name in sorted(counters):
+        recorder.add(name, counters[name])
+
+
+def add_network(network, recorder: Optional[Recorder] = None) -> None:
+    """Accumulate :func:`network_counters` into the (active) recorder."""
+    recorder = recorder if recorder is not None else _recorder.active()
+    if recorder is None:
+        return
+    _accumulate(recorder, network_counters(network))
+
+
+def add_allocator(allocator, recorder: Optional[Recorder] = None) -> None:
+    """Accumulate :func:`allocator_counters` into the (active) recorder."""
+    recorder = recorder if recorder is not None else _recorder.active()
+    if recorder is None:
+        return
+    _accumulate(recorder, allocator_counters(allocator))

@@ -1,0 +1,168 @@
+"""Versioned JSONL/JSON export of recorded observations.
+
+One export is a flat list of records.  The first record is a header
+carrying the schema version; every other record is a ``counter``,
+``span``, or ``sample`` tagged with the cell label it came from, so a
+merged multi-cell export (the ``--jobs N`` sweep case) stays one flat
+stream that line-oriented tools can grep.
+
+Merging is deterministic: cells are emitted in submission order (the
+same order the sweep executor returns results in, serial or parallel),
+counters within a cell are sorted by name, and spans/samples keep their
+recording order.  ``json.dumps`` renders floats via ``repr``, so finite
+float values survive a JSONL round-trip bit-exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence, Tuple
+
+#: Bump on any backwards-incompatible record-shape change.
+SCHEMA_VERSION = "repro-obs/1"
+
+RECORD_KINDS = ("header", "counter", "span", "sample")
+
+
+def merge_observations(
+    cells: Sequence[Tuple[str, Dict[str, object]]],
+) -> List[Dict[str, object]]:
+    """Flatten ``(label, Recorder.snapshot())`` pairs into one export."""
+    records: List[Dict[str, object]] = [{
+        "record": "header",
+        "schema": SCHEMA_VERSION,
+        "cells": [label for label, _ in cells],
+    }]
+    for label, snapshot in cells:
+        counters = snapshot.get("counters", {})
+        for name in sorted(counters):
+            records.append({
+                "record": "counter", "cell": label,
+                "name": name, "value": counters[name],
+            })
+        for span in snapshot.get("spans", ()):
+            record: Dict[str, object] = {"record": "span", "cell": label}
+            record.update(span)
+            records.append(record)
+        for sample in snapshot.get("samples", ()):
+            record = {"record": "sample", "cell": label}
+            record.update(sample)
+            records.append(record)
+    return records
+
+
+def merged_counters(records: Sequence[Dict[str, object]]) -> Dict[str, float]:
+    """Sum counter records across cells (worker totals add linearly)."""
+    totals: Dict[str, float] = {}
+    for record in records:
+        if record.get("record") == "counter":
+            name = record["name"]
+            totals[name] = totals.get(name, 0) + record["value"]
+    return {name: totals[name] for name in sorted(totals)}
+
+
+# ----------------------------------------------------------------------
+# Serialization
+# ----------------------------------------------------------------------
+
+def dumps_jsonl(records: Sequence[Dict[str, object]]) -> str:
+    """One compact JSON object per line (floats via ``repr``)."""
+    return "".join(
+        json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+        for record in records
+    )
+
+
+def loads_jsonl(text: str) -> List[Dict[str, object]]:
+    return [json.loads(line) for line in text.splitlines() if line.strip()]
+
+
+def write_export(path: str, records: Sequence[Dict[str, object]]) -> None:
+    """Write ``records`` to ``path`` — JSONL unless it ends in ``.json``."""
+    if path.endswith(".json"):
+        payload = json.dumps(list(records), sort_keys=True, indent=2) + "\n"
+    else:
+        payload = dumps_jsonl(records)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(payload)
+
+
+def read_export(path: str) -> List[Dict[str, object]]:
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    if path.endswith(".json"):
+        return json.loads(text)
+    return loads_jsonl(text)
+
+
+# ----------------------------------------------------------------------
+# Validation
+# ----------------------------------------------------------------------
+
+def _check_number(record: Dict[str, object], key: str, errors: List[str],
+                  where: str, minimum: float = 0.0,
+                  allow_none: bool = False) -> None:
+    value = record.get(key)
+    if value is None and allow_none:
+        return
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        errors.append(f"{where}: {key} is not a number: {value!r}")
+    elif value < minimum:
+        errors.append(f"{where}: {key} below {minimum}: {value!r}")
+
+
+def validate_records(records: Sequence[Dict[str, object]]) -> List[str]:
+    """Schema check for one export; returns a list of error strings."""
+    errors: List[str] = []
+    if not records:
+        return ["export is empty (missing header)"]
+    header = records[0]
+    if header.get("record") != "header":
+        errors.append(f"record 0: expected a header, got {header.get('record')!r}")
+    elif header.get("schema") != SCHEMA_VERSION:
+        errors.append(
+            f"record 0: unsupported schema {header.get('schema')!r} "
+            f"(expected {SCHEMA_VERSION!r})"
+        )
+    last_sample_t: Dict[str, float] = {}
+    for position, record in enumerate(records[1:], start=1):
+        where = f"record {position}"
+        kind = record.get("record")
+        if kind not in RECORD_KINDS:
+            errors.append(f"{where}: unknown record kind {kind!r}")
+            continue
+        if kind == "header":
+            errors.append(f"{where}: duplicate header")
+            continue
+        if not isinstance(record.get("cell"), str):
+            errors.append(f"{where}: missing cell label")
+            continue
+        cell = record["cell"]
+        if kind == "counter":
+            if not isinstance(record.get("name"), str):
+                errors.append(f"{where}: counter without a name")
+            _check_number(record, "value", errors, where)
+        elif kind == "span":
+            if not isinstance(record.get("name"), str):
+                errors.append(f"{where}: span without a name")
+            _check_number(record, "depth", errors, where)
+            start = record.get("t_start")
+            end = record.get("t_end")
+            _check_number(record, "t_start", errors, where, minimum=float("-inf"))
+            _check_number(record, "t_end", errors, where,
+                          minimum=float("-inf"), allow_none=True)
+            if (isinstance(start, (int, float)) and isinstance(end, (int, float))
+                    and end < start):
+                errors.append(f"{where}: span ends at {end!r} before {start!r}")
+        elif kind == "sample":
+            _check_number(record, "t", errors, where, minimum=float("-inf"))
+            t = record.get("t")
+            if isinstance(t, (int, float)):
+                previous = last_sample_t.get(cell)
+                if previous is not None and t < previous:
+                    errors.append(
+                        f"{where}: sample at t={t!r} behind t={previous!r} "
+                        f"for cell {cell!r}"
+                    )
+                last_sample_t[cell] = float(t)
+    return errors

@@ -1,0 +1,257 @@
+"""Span/counter/timeline recorder with a zero-overhead disabled path.
+
+The recorder follows the determinism contract pinned by the kernel and
+fault subsystems: every value that lands in a *deterministic* output is
+derived from the simulator's virtual clock or from integer counters the
+simulation increments identically on every run.  Wall-clock time is
+measured too (spans carry a ``wall_s`` field, mirroring the
+``computation_s`` precedent from the sweep runner) but it is segregated
+so exports and tests can drop it with one switch.
+
+When no recorder is attached, the module-level :func:`span` and
+:func:`add` helpers reduce to a ``None`` check — instrumented code pays
+one attribute load and a branch, which is what keeps the attached/
+detached bit-identity contract cheap enough to leave the hooks inline
+on hot paths.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional
+
+
+class ObsError(RuntimeError):
+    """Raised on recorder misuse (bad nesting, negative deltas, ...)."""
+
+
+@dataclass
+class SpanRecord:
+    """One completed (or still-open) phase span.
+
+    ``t_start``/``t_end`` are virtual-clock seconds (deterministic);
+    ``wall_s`` is host wall time and is excluded from deterministic
+    exports.  ``parent`` is the index of the enclosing span in the
+    recorder's span list, or ``None`` for top-level spans.
+    """
+
+    name: str
+    index: int
+    depth: int
+    parent: Optional[int]
+    t_start: float
+    t_end: Optional[float] = None
+    wall_s: Optional[float] = None
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    def as_record(self, include_wall: bool = True) -> Dict[str, object]:
+        record: Dict[str, object] = {
+            "name": self.name,
+            "index": self.index,
+            "depth": self.depth,
+            "parent": self.parent,
+            "t_start": self.t_start,
+            "t_end": self.t_end,
+        }
+        if include_wall:
+            record["wall_s"] = self.wall_s
+        if self.attrs:
+            record["attrs"] = dict(sorted(self.attrs.items()))
+        return record
+
+
+class Span:
+    """Context manager closing one :class:`SpanRecord` on exit."""
+
+    __slots__ = ("_recorder", "_record", "_wall_start")
+
+    def __init__(self, recorder: "Recorder", record: SpanRecord) -> None:
+        self._recorder = recorder
+        self._record = record
+        self._wall_start = time.perf_counter()
+
+    @property
+    def record(self) -> SpanRecord:
+        return self._record
+
+    def set(self, **attrs: object) -> "Span":
+        """Attach deterministic key/value attributes to the span."""
+        self._record.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._recorder._close(self._record, time.perf_counter() - self._wall_start)
+
+
+class _NullSpan:
+    """Shared no-op span returned while no recorder is attached."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: object) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Recorder:
+    """Collects spans, namespaced counters, and timeline samples.
+
+    The virtual clock defaults to a constant ``0.0`` until
+    :meth:`use_clock` wires it to a simulator (``lambda: sim.now``), so
+    a recorder is usable in unit tests without an engine.
+    """
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
+        self.spans: List[SpanRecord] = []
+        self.counters: Dict[str, float] = {}
+        self.samples: List[Dict[str, object]] = []
+        self._clock: Callable[[], float] = clock if clock is not None else (lambda: 0.0)
+        self._stack: List[SpanRecord] = []
+        self._last_sample_t: Optional[float] = None
+
+    # -- clock ---------------------------------------------------------
+    def use_clock(self, clock: Callable[[], float]) -> None:
+        """Point virtual timestamps at ``clock`` (e.g. ``lambda: sim.now``)."""
+        self._clock = clock
+
+    @property
+    def now(self) -> float:
+        return self._clock()
+
+    # -- spans ---------------------------------------------------------
+    def span(self, name: str, **attrs: object) -> Span:
+        record = SpanRecord(
+            name=name,
+            index=len(self.spans),
+            depth=len(self._stack),
+            parent=self._stack[-1].index if self._stack else None,
+            t_start=self._clock(),
+            attrs=dict(attrs),
+        )
+        self.spans.append(record)
+        self._stack.append(record)
+        return Span(self, record)
+
+    def _close(self, record: SpanRecord, wall_s: float) -> None:
+        if not self._stack or self._stack[-1] is not record:
+            raise ObsError(
+                f"span {record.name!r} closed out of order; open stack is "
+                f"{[open_span.name for open_span in self._stack]}"
+            )
+        self._stack.pop()
+        record.t_end = self._clock()
+        record.wall_s = wall_s
+
+    @property
+    def open_spans(self) -> int:
+        return len(self._stack)
+
+    # -- counters ------------------------------------------------------
+    def add(self, name: str, value: float = 1) -> None:
+        """Accumulate a non-negative delta into counter ``name``."""
+        if value < 0:
+            raise ObsError(f"negative delta {value!r} for counter {name!r}")
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    # -- timeline samples ----------------------------------------------
+    def sample(self, t: float, **fields: object) -> Dict[str, object]:
+        """Append a timeline sample at virtual time ``t`` (monotone)."""
+        if self._last_sample_t is not None and t < self._last_sample_t:
+            raise ObsError(
+                f"timeline sample at t={t!r} behind previous "
+                f"t={self._last_sample_t!r}"
+            )
+        self._last_sample_t = t
+        record: Dict[str, object] = {"t": t}
+        record.update(fields)
+        self.samples.append(record)
+        return record
+
+    # -- export --------------------------------------------------------
+    def snapshot(self, include_wall: bool = True) -> Dict[str, object]:
+        """A JSON-ready copy of everything recorded so far.
+
+        With ``include_wall=False`` the result is fully deterministic
+        (pure virtual-clock / counter data), which is what the
+        bit-identity tests compare.
+        """
+        if self._stack:
+            raise ObsError(
+                "snapshot with open spans: "
+                f"{[record.name for record in self._stack]}"
+            )
+        return {
+            "spans": [record.as_record(include_wall) for record in self.spans],
+            "counters": {name: self.counters[name] for name in sorted(self.counters)},
+            "samples": [dict(record) for record in self.samples],
+        }
+
+
+# ----------------------------------------------------------------------
+# Module-level attach point (the zero-overhead switch)
+# ----------------------------------------------------------------------
+
+_ACTIVE: Optional[Recorder] = None
+
+
+def attach(recorder: Recorder) -> Recorder:
+    """Make ``recorder`` the process-wide active recorder."""
+    global _ACTIVE
+    if _ACTIVE is not None:
+        raise ObsError("a recorder is already attached; detach it first")
+    _ACTIVE = recorder
+    return recorder
+
+
+def detach() -> Recorder:
+    """Remove and return the active recorder."""
+    global _ACTIVE
+    if _ACTIVE is None:
+        raise ObsError("no recorder attached")
+    recorder, _ACTIVE = _ACTIVE, None
+    return recorder
+
+
+def active() -> Optional[Recorder]:
+    """The attached recorder, or ``None``."""
+    return _ACTIVE
+
+
+@contextmanager
+def attached(recorder: Recorder) -> Iterator[Recorder]:
+    """Attach ``recorder`` for the duration of a ``with`` block."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = recorder
+    try:
+        yield recorder
+    finally:
+        _ACTIVE = previous
+
+
+def span(name: str, **attrs: object):
+    """Open a span on the active recorder, or a shared no-op span."""
+    recorder = _ACTIVE
+    if recorder is None:
+        return NULL_SPAN
+    return recorder.span(name, **attrs)
+
+
+def add(name: str, value: float = 1) -> None:
+    """Bump a counter on the active recorder; no-op when detached."""
+    recorder = _ACTIVE
+    if recorder is not None:
+        recorder.add(name, value)

@@ -1,0 +1,118 @@
+"""Terminal summary for an observation export (``repro report obs``).
+
+Renders the flat record stream from :mod:`repro.obs.export` as three
+aligned tables — spans aggregated by name, counters summed across
+cells, and per-cell timeline digests.  The layout reuses the pipe-table
+formatter the figure suite already prints with, and is pinned by a
+golden-file test so drift is a deliberate act.
+
+Wall-clock span durations are included only when ``include_wall`` (they
+vary run to run); everything else in the summary is deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.obs.export import SCHEMA_VERSION, merged_counters, validate_records
+
+
+def _format_rows(rows: Sequence[Dict[str, object]]) -> str:
+    # Imported lazily: ``repro.obs`` must stay a leaf package (core and
+    # pubsub modules import it for their instrumentation hooks), while
+    # the experiments package imports those same modules — a module-
+    # level import here would close that cycle during interpreter
+    # start-up.
+    from repro.experiments.report import format_rows
+
+    return format_rows(rows)
+
+
+def _span_rows(records: Sequence[Dict[str, object]],
+               include_wall: bool) -> List[Dict[str, object]]:
+    by_name: Dict[str, Dict[str, float]] = {}
+    for record in records:
+        if record.get("record") != "span":
+            continue
+        stats = by_name.setdefault(
+            str(record["name"]), {"count": 0, "virtual_s": 0.0, "wall_s": 0.0}
+        )
+        stats["count"] += 1
+        start, end = record.get("t_start"), record.get("t_end")
+        if isinstance(start, (int, float)) and isinstance(end, (int, float)):
+            stats["virtual_s"] += end - start
+        wall = record.get("wall_s")
+        if isinstance(wall, (int, float)):
+            stats["wall_s"] += wall
+    rows = []
+    for name in sorted(by_name):
+        stats = by_name[name]
+        row: Dict[str, object] = {
+            "span": name,
+            "count": int(stats["count"]),
+            "virtual_s": stats["virtual_s"],
+        }
+        if include_wall:
+            row["wall_s"] = stats["wall_s"]
+        rows.append(row)
+    return rows
+
+
+def _sample_rows(records: Sequence[Dict[str, object]]) -> List[Dict[str, object]]:
+    by_cell: Dict[str, Dict[str, float]] = {}
+    order: List[str] = []
+    for record in records:
+        if record.get("record") != "sample":
+            continue
+        cell = str(record.get("cell"))
+        if cell not in by_cell:
+            by_cell[cell] = {
+                "samples": 0, "t_first": float(record["t"]), "t_last": 0.0,
+                "max_queue_depth": 0,
+            }
+            order.append(cell)
+        stats = by_cell[cell]
+        stats["samples"] += 1
+        stats["t_last"] = float(record["t"])
+        depth = record.get("queue_depth")
+        if isinstance(depth, (int, float)) and depth > stats["max_queue_depth"]:
+            stats["max_queue_depth"] = depth
+    return [
+        {
+            "cell": cell,
+            "samples": int(by_cell[cell]["samples"]),
+            "t_first": by_cell[cell]["t_first"],
+            "t_last": by_cell[cell]["t_last"],
+            "max_queue_depth": int(by_cell[cell]["max_queue_depth"]),
+        }
+        for cell in order
+    ]
+
+
+def summarize(records: Sequence[Dict[str, object]],
+              include_wall: bool = True) -> str:
+    """The ``report obs`` terminal summary for one export."""
+    errors = validate_records(records)
+    if errors:
+        raise ValueError(
+            "invalid observation export:\n" + "\n".join(errors)
+        )
+    header = records[0]
+    cells = header.get("cells", [])
+    lines = [
+        f"obs summary — schema {SCHEMA_VERSION}, {len(cells)} cell(s)",
+        "",
+        "spans (aggregated by name):",
+        _format_rows(_span_rows(records, include_wall)),
+        "",
+        "counters (summed across cells):",
+    ]
+    counters = merged_counters(records)
+    counter_rows = [
+        {"counter": name, "total": value} for name, value in counters.items()
+    ]
+    lines.append(_format_rows(counter_rows))
+    lines.append("")
+    lines.append("timelines:")
+    lines.append(_format_rows(_sample_rows(records)))
+    return "\n".join(lines) + "\n"

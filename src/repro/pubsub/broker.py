@@ -112,7 +112,13 @@ class Broker:
         self.neighbors.clear()
         self.local_clients.clear()
         self._advertisements.clear()
-        self._srt = MatchingIndex()
+        # Carry the probe-cache tallies across the rebuild: they are
+        # observability counters for the broker's whole lifetime, not
+        # matching state.
+        fresh = MatchingIndex()
+        fresh.probe_cache_hits = self._srt.probe_cache_hits
+        fresh.probe_cache_misses = self._srt.probe_cache_misses
+        self._srt = fresh
         self._known_subscriptions.clear()
         self._forwarded_subs.clear()
         self._suppressed.clear()
@@ -126,6 +132,16 @@ class Broker:
     @property
     def srt_size(self) -> int:
         return len(self._srt)
+
+    @property
+    def probe_cache_hits(self) -> int:
+        """Matching probe-cache hits (read by :mod:`repro.obs`)."""
+        return self._srt.probe_cache_hits
+
+    @property
+    def probe_cache_misses(self) -> int:
+        """Matching probe-cache misses (read by :mod:`repro.obs`)."""
+        return self._srt.probe_cache_misses
 
     # ------------------------------------------------------------------
     # Receive path: queue behind the matching CPU

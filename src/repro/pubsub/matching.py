@@ -95,6 +95,9 @@ class MatchingIndex:
         self._bucket_attrs: Dict[str, int] = {}
         #: publication attribute-name tuple -> names worth probing.
         self._probe_cache: Dict[Tuple[str, ...], Tuple[str, ...]] = {}
+        #: Probe-cache hit/miss tallies (read by :mod:`repro.obs`).
+        self.probe_cache_hits = 0
+        self.probe_cache_misses = 0
         self._size = 0
 
     @staticmethod
@@ -174,9 +177,12 @@ class MatchingIndex:
         names = tuple(publication.attributes)
         probes = self._probe_cache.get(names)
         if probes is None:
+            self.probe_cache_misses += 1
             bucket_attrs = self._bucket_attrs
             probes = tuple(name for name in names if name in bucket_attrs)
             self._probe_cache[names] = probes
+        else:
+            self.probe_cache_hits += 1
         return probes
 
     def matching_payloads(self, publication: Publication) -> List[Any]:

@@ -195,6 +195,51 @@ class MetricsCollector:
         self._rollbacks += 1
 
     # ------------------------------------------------------------------
+    # Read-only views (observability; see :mod:`repro.obs.collect`)
+    # ------------------------------------------------------------------
+    def messages_total(self, broker_id: str) -> int:
+        """In+out messages for ``broker_id`` this window (0 if unseen).
+
+        Unlike :meth:`counters` this never creates an entry, so timeline
+        sampling cannot perturb the per-broker table the summary is
+        built from.
+        """
+        counters = self._counters.get(broker_id)
+        return counters.messages_total if counters is not None else 0
+
+    @property
+    def delivery_count(self) -> int:
+        return self._delivery_count
+
+    @property
+    def messages_lost(self) -> int:
+        return self._messages_lost
+
+    @property
+    def publications_lost(self) -> int:
+        return self._publications_lost
+
+    @property
+    def broker_crashes(self) -> int:
+        return self._broker_crashes
+
+    @property
+    def broker_recoveries(self) -> int:
+        return self._broker_recoveries
+
+    @property
+    def gather_retries(self) -> int:
+        return self._gather_retries
+
+    @property
+    def degraded_plans(self) -> int:
+        return self._degraded_plans
+
+    @property
+    def rollbacks(self) -> int:
+        return self._rollbacks
+
+    # ------------------------------------------------------------------
     # Windows
     # ------------------------------------------------------------------
     def reset_window(self) -> None:

@@ -51,6 +51,11 @@ class PubSubNetwork:
         self.enable_covering = enable_covering
         self.bir_timeout = bir_timeout
         self.faults: Optional[FaultInjector] = None
+        #: Optional :class:`repro.obs.timeline.TimelineSampler`; when
+        #: set, :meth:`run` drives the engine through it so run
+        #: timelines get sampled (chunked ``sim.run`` calls — the event
+        #: order is exactly the unsampled one).
+        self.obs_sampler = None
         #: The most recently applied deployment — CROC's rollback target.
         self.last_deployment: Optional[Deployment] = None
         self.brokers: Dict[str, Broker] = {}
@@ -325,7 +330,11 @@ class PubSubNetwork:
 
     def run(self, duration: float) -> None:
         """Advance virtual time by ``duration`` seconds."""
-        self.sim.run(until=self.sim.now + duration)
+        until = self.sim.now + duration
+        if self.obs_sampler is not None:
+            self.obs_sampler.run(until)
+        else:
+            self.sim.run(until=until)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

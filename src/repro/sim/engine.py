@@ -96,6 +96,8 @@ class Simulator:
         self._running = False
         self._events_processed = 0
         self._cancelled_in_heap = 0
+        self._batched_events = 0
+        self._compactions = 0
 
     @property
     def now(self) -> float:
@@ -117,6 +119,16 @@ class Simulator:
     def cancelled_pending(self) -> int:
         """Cancelled events still occupying heap slots."""
         return self._cancelled_in_heap
+
+    @property
+    def batched_events(self) -> int:
+        """Events executed by the same-timestamp batch fast path."""
+        return self._batched_events
+
+    @property
+    def heap_compactions(self) -> int:
+        """Times the cancelled-event compaction rebuilt the heap."""
+        return self._compactions
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` to run ``delay`` seconds from now."""
@@ -157,6 +169,7 @@ class Simulator:
         heap[:] = live
         heapq.heapify(heap)
         self._cancelled_in_heap = 0
+        self._compactions += 1
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         """Run events in timestamp order.
@@ -178,6 +191,7 @@ class Simulator:
         heap = self._heap
         pop = heapq.heappop
         processed = self._events_processed
+        batched = self._batched_events
         try:
             while heap:
                 if self._cancelled_in_heap >= COMPACT_MIN_CANCELLED:
@@ -214,6 +228,7 @@ class Simulator:
                     event.callback()
                     processed += 1
                     executed += 1
+                    batched += 1
                     if max_events is not None and executed >= max_events:
                         break
                 else:
@@ -221,6 +236,7 @@ class Simulator:
                 break  # max_events hit inside the batch loop
         finally:
             self._events_processed = processed
+            self._batched_events = batched
             self._running = False
         if until is not None and self._now < until:
             self._now = until

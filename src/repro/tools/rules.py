@@ -98,8 +98,9 @@ def check_unmanaged_random(module: Module) -> Iterator[Finding]:
 # ----------------------------------------------------------------------
 
 #: Dotted call targets that read the wall clock.  Monotonic timers
-#: (``time.perf_counter``) stay legal: they feed measurement stats, not
-#: simulation state.
+#: (``time.perf_counter``) are handled separately by the
+#: ``wall-clock-output`` rule below: they are legal only in the audited
+#: modules that keep their readings out of deterministic outputs.
 _WALL_CLOCK_CALLS = {
     "time.time",
     "time.time_ns",
@@ -486,3 +487,55 @@ def check_unpicklable_worker(module: Module) -> Iterator[Finding]:
                         "cannot be pickled into a spawned child process — "
                         "pass a module-level function",
                     )
+
+
+# ----------------------------------------------------------------------
+# Rule 10 — determinism: monotonic timers only in the wall-time allowlist
+# ----------------------------------------------------------------------
+
+#: Dotted call targets that read a monotonic host timer.  Harmless by
+#: themselves, but the reading is wall time: the moment it lands in a
+#: row, export, or simulation decision, runs stop being comparable.
+_MONOTONIC_TIMER_CALLS = {
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.process_time",
+    "time.process_time_ns",
+}
+
+#: Modules audited to keep monotonic readings out of deterministic
+#: outputs: the obs recorder segregates them behind ``include_wall``,
+#: and croc.py / runner.py only feed the excluded-by-contract
+#: ``computation_s`` measurement.
+_WALL_TIME_ALLOWLIST = (
+    ("core", "croc.py"),
+    ("experiments", "runner.py"),
+)
+
+
+@rule(
+    "wall-clock-output",
+    "time.perf_counter()/monotonic() only in the audited wall-time "
+    "allowlist (obs/, core/croc.py, experiments/runner.py) — elsewhere "
+    "the reading leaks into deterministic outputs",
+)
+def check_wall_clock_output(module: Module) -> Iterator[Finding]:
+    if module.in_package("obs"):
+        return
+    if any(module.is_module(*relative) for relative in _WALL_TIME_ALLOWLIST):
+        return
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = _dotted_name(node.func)
+        if dotted in _MONOTONIC_TIMER_CALLS:
+            yield module.finding(
+                node,
+                "wall-clock-output",
+                f"{dotted}() outside the wall-time allowlist; deterministic "
+                "outputs must not carry host timings — record wall time "
+                "through repro.obs spans (wall_s) or the computation_s "
+                "pattern, in an allowlisted module",
+            )

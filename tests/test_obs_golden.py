@@ -1,0 +1,143 @@
+"""Golden-file pins for the observation export schema and `report obs`.
+
+Two fixtures live in ``tests/data/``:
+
+* ``obs_export_golden.jsonl`` — a synthetic two-cell export, pinning the
+  JSONL record shapes byte-for-byte (schema drift must bump
+  ``SCHEMA_VERSION`` and regenerate deliberately).
+* ``obs_summary_golden.txt`` — the ``report obs`` terminal summary for
+  that export (wall columns excluded, so the text is deterministic).
+
+Regenerate both after an intentional schema change with::
+
+    PYTHONPATH=src python tests/test_obs_golden.py --regen
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.cli import main
+from repro.obs.export import (
+    dumps_jsonl,
+    loads_jsonl,
+    merge_observations,
+    read_export,
+    validate_records,
+    write_export,
+)
+from repro.obs.recorder import Recorder
+from repro.obs.report import summarize
+
+DATA_DIR = pathlib.Path(__file__).parent / "data"
+GOLDEN_JSONL = DATA_DIR / "obs_export_golden.jsonl"
+GOLDEN_SUMMARY = DATA_DIR / "obs_summary_golden.txt"
+
+
+def synthetic_export() -> list:
+    """A deterministic two-cell export (manual clock, no wall time)."""
+    cells = []
+    for label, offset in (("homo-8/manual", 0.0), ("homo-8/cram-ios", 0.5)):
+        clock = [offset]
+        recorder = Recorder(clock=lambda c=clock: c[0])
+        with recorder.span("reconfigure", approach=label.split("/")[1]) as outer:
+            with recorder.span("phase1.gather"):
+                clock[0] += 1.25
+            with recorder.span("phase2.allocate", units=4):
+                clock[0] += 0.5
+            outer.set(applied=True)
+        recorder.add("engine.events_processed", 128 + int(offset * 100))
+        recorder.add("matching.probe_cache_hits", 7)
+        recorder.add("metrics.deliveries", 42)
+        recorder.sample(clock[0], queue_depth=3, in_flight=2,
+                        broker_rates={"B1": 1.5, "B2": 0.25})
+        clock[0] += 1.0
+        recorder.sample(clock[0], queue_depth=1, in_flight=1,
+                        broker_rates={"B1": 2.0, "B2": 0.0})
+        cells.append((label, recorder.snapshot(include_wall=False)))
+    return merge_observations(cells)
+
+
+class TestGoldenFixtures:
+    def test_jsonl_schema_is_pinned(self):
+        assert dumps_jsonl(synthetic_export()) == GOLDEN_JSONL.read_text()
+
+    def test_golden_export_validates(self):
+        records = loads_jsonl(GOLDEN_JSONL.read_text())
+        assert validate_records(records) == []
+
+    def test_report_summary_is_pinned(self):
+        records = loads_jsonl(GOLDEN_JSONL.read_text())
+        assert summarize(records, include_wall=False) == GOLDEN_SUMMARY.read_text()
+
+    def test_summary_survives_a_file_round_trip(self, tmp_path):
+        records = synthetic_export()
+        for name in ("export.jsonl", "export.json"):
+            path = tmp_path / name
+            write_export(str(path), records)
+            assert read_export(str(path)) == records
+            assert summarize(read_export(str(path)),
+                             include_wall=False) == GOLDEN_SUMMARY.read_text()
+
+
+class TestCliReportObs:
+    def test_run_obs_then_report(self, tmp_path, capsys):
+        """End-to-end: --obs writes a valid export, `report obs` reads it."""
+        obs_path = tmp_path / "obs.jsonl"
+        code = main([
+            "run", "--scenario", "homo", "--subs", "8", "--scale", "0.1",
+            "--approach", "binpacking", "--measurement-time", "10",
+            "--obs", str(obs_path),
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert f"wrote {obs_path}" in captured.err
+        records = read_export(str(obs_path))
+        assert validate_records(records) == []
+        cells = records[0]["cells"]
+        assert len(cells) == 1 and cells[0].endswith("/binpacking")
+
+        assert main(["report", "obs", str(obs_path), "--no-wall"]) == 0
+        out = capsys.readouterr().out
+        assert "obs summary — schema repro-obs/1, 1 cell(s)" in out
+        assert "phase1.gather" in out
+        assert "engine.events_processed" in out
+        assert cells[0] in out
+        assert "wall_s" not in out
+
+    def test_report_includes_wall_by_default(self, capsys):
+        assert main(["report", "obs", str(GOLDEN_JSONL)]) == 0
+        out = capsys.readouterr().out
+        # The golden export carries no wall readings, but the column
+        # is rendered unless --no-wall strips it.
+        assert "wall_s" in out
+
+    def test_report_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["report", "obs", str(tmp_path / "nope.jsonl")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_report_invalid_export_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"record":"counter","cell":"c","name":"n","value":1}\n')
+        assert main(["report", "obs", str(path)]) == 2
+        assert "invalid observation export" in capsys.readouterr().err
+
+
+def _regenerate() -> None:
+    DATA_DIR.mkdir(exist_ok=True)
+    records = synthetic_export()
+    GOLDEN_JSONL.write_text(dumps_jsonl(records))
+    GOLDEN_SUMMARY.write_text(summarize(records, include_wall=False))
+    print(f"wrote {GOLDEN_JSONL}")
+    print(f"wrote {GOLDEN_SUMMARY}")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" in sys.argv:
+        _regenerate()
+    else:
+        sys.exit(pytest.main([__file__, "-q"]))

@@ -98,6 +98,13 @@ RULE_CASES = {
         "def launch(pool, spec):\n"
         "    return pool.submit(lambda: spec)  # reprolint: disable=unpicklable-worker\n",
     ),
+    "wall-clock-output": (
+        "import time\n\ndef stamp():\n    return time.perf_counter()\n",
+        EXPERIMENTS,
+        "def stamp(sim):\n    return sim.now\n",
+        "import time\n\ndef stamp():\n"
+        "    return time.perf_counter()  # reprolint: disable=wall-clock-output\n",
+    ),
 }
 
 
@@ -208,6 +215,29 @@ def test_allocator_signature_reaches_registry_importing_modules():
         "        return None\n"
     )
     assert findings_for("allocator-signature", conforming, EXPERIMENTS) == []
+
+
+def test_wall_clock_output_allows_audited_modules():
+    source = "import time\n\ndef stamp():\n    return time.perf_counter()\n"
+    for path in (
+        "src/repro/obs/recorder.py",
+        "src/repro/obs/fixture.py",
+        "src/repro/core/croc.py",
+        "src/repro/experiments/runner.py",
+    ):
+        assert findings_for("wall-clock-output", source, path) == [], path
+
+
+def test_wall_clock_output_flags_every_monotonic_timer():
+    for call in ("time.monotonic()", "time.perf_counter_ns()", "time.process_time()"):
+        source = f"import time\n\ndef stamp():\n    return {call}\n"
+        assert findings_for("wall-clock-output", source, CORE), call
+
+
+def test_wall_clock_output_ignores_sim_clock_reads():
+    source = "def stamp(sim):\n    return sim.now\n"
+    for path in (CORE, SIM, EXPERIMENTS):
+        assert findings_for("wall-clock-output", source, path) == [], path
 
 
 def test_unpicklable_worker_flags_nested_function():
