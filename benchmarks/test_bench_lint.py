@@ -1,0 +1,86 @@
+"""reprolint wall-time benchmark (tooling, paper-external).
+
+The lint gate runs on every CI push, so its latency is a budgeted
+quantity like any other: a cold whole-program run (parse + per-file
+rules + the three project passes over ``src`` with the tests and
+benchmarks usage index) and a cache-warm rerun are timed, gated
+against absolute budgets, and recorded in ``BENCH_lint.json``.  The
+warm run must also reproduce the cold findings byte-for-byte — a cache
+that changes results would be worse than no cache.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import time
+from pathlib import Path
+
+from conftest import record_bench
+
+from repro.tools.lint import run_lint
+from repro.tools.output import render_json
+
+#: Absolute wall-time budgets (seconds), ~8x local headroom for CI jitter.
+COLD_BUDGET_S = 20.0
+CACHED_BUDGET_S = 10.0
+
+#: Anchored at the repo root so the bench runs from any working directory.
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = str(REPO_ROOT / "src")
+LINT_ARGS = dict(
+    usage_paths=[str(REPO_ROOT / "tests"), str(REPO_ROOT / "benchmarks")]
+)
+
+
+def _snapshot(run) -> str:
+    return render_json(
+        run.findings, run.parse_failures, run.checked,
+        run.rule_names, run.pass_names, run.suppressed,
+    )
+
+
+def test_lint_cold_and_cached_within_budget():
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = Path(tmp) / "cache.json"
+
+        start = time.perf_counter()
+        cold = run_lint([SRC], cache_path=cache, **LINT_ARGS)
+        cold_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        warm = run_lint([SRC], cache_path=cache, **LINT_ARGS)
+        cached_s = time.perf_counter() - start
+
+    assert cold.parse_failures == []
+    assert warm.cache_misses == 0, "second run must be fully cache-served"
+    assert _snapshot(warm) == _snapshot(cold), (
+        "cache-warm findings must be byte-identical to the cold run"
+    )
+
+    rows = [
+        {
+            "phase": "cold",
+            "wall_s": round(cold_s, 3),
+            "budget_s": COLD_BUDGET_S,
+            "files": cold.checked,
+            "findings": len(cold.findings),
+        },
+        {
+            "phase": "cached",
+            "wall_s": round(cached_s, 3),
+            "budget_s": CACHED_BUDGET_S,
+            "files": warm.checked,
+            "findings": len(warm.findings),
+        },
+    ]
+    record_bench(
+        "lint", rows, title="lint: reprolint wall time (cold vs cached)",
+        speedup=round(cold_s / cached_s, 2) if cached_s > 0 else None,
+    )
+    print(json.dumps(rows, indent=2))
+
+    assert cold_s <= COLD_BUDGET_S, f"cold lint {cold_s:.2f}s > {COLD_BUDGET_S}s"
+    assert cached_s <= CACHED_BUDGET_S, (
+        f"cached lint {cached_s:.2f}s > {CACHED_BUDGET_S}s"
+    )

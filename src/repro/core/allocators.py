@@ -99,17 +99,25 @@ def _binpacking_builder(**_: Any) -> AllocatorFactory:
     return BinPackingAllocator
 
 
-def _cram_builder(metric: str) -> AllocatorBuilder:
-    def build(failure_budget: Any = None, **_: Any) -> AllocatorFactory:
-        return lambda: CramAllocator(metric=metric, failure_budget=failure_budget)
+class _CramBuilder:
+    """Builder for the CRAM family, one instance per closeness metric.
 
-    return build
+    A module-level class (not a closure) so a registration that ends up
+    in a worker snapshot pickles by reference like every other builder.
+    """
+
+    def __init__(self, metric: str):
+        self.metric = metric
+
+    def __call__(self, failure_budget: Any = None, **_: Any) -> AllocatorFactory:
+        metric, budget = self.metric, failure_budget
+        return lambda: CramAllocator(metric=metric, failure_budget=budget)
 
 
 register("fbf", _fbf_builder)
 register("binpacking", _binpacking_builder)
 for _metric in ("intersect", "xor", "ios", "iou"):
-    register(f"cram-{_metric}", _cram_builder(_metric))
+    register(f"cram-{_metric}", _CramBuilder(_metric))
 del _metric
 
 #: Import-time snapshot of the built-in registrations.  Every Python

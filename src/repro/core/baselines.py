@@ -19,7 +19,7 @@ from typing import Dict, Iterable, Sequence
 
 from repro.core.capacity import BrokerSpec, sorted_broker_pool
 from repro.core.deployment import BrokerTree, Deployment
-from repro.sim.rng import SeededRng
+from repro.core.rng import SeededRng
 
 
 def _fanout_tree(broker_ids: Sequence[str], fanout: int = 2) -> BrokerTree:

@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.bitvector import BitVector
-from repro.core.kernel import ClosenessKernel, PackedProfile
+from repro.core.kernel import ClosenessKernel
 from repro.core.profiles import PublisherDirectory
 from repro.core.units import AllocationUnit, approx_le
 

@@ -23,14 +23,14 @@ from repro.core.grape import GrapeRelocator
 from repro.core.overlay_builder import OverlayBuilder
 from repro.core.profiles import PublisherProfile
 from repro.core.units import SubscriptionRecord, units_from_records
-from repro.obs import collect as obs_collect
-from repro.obs import recorder as obs
-from repro.pubsub.message import (
+from repro.core.protocol import (
     BrokerInformationAnswer,
     BrokerInformationRequest,
     BrokerReport,
     CONTROL_MESSAGE_KB,
 )
+from repro.obs import collect as obs_collect
+from repro.obs import recorder as obs
 
 _croc_ids = itertools.count()
 

@@ -26,7 +26,7 @@ from repro.core.kernel import ClosenessKernel
 from repro.core.profiles import PublisherDirectory
 from repro.core.units import EPSILON, AllocationUnit
 from repro.obs import recorder as obs
-from repro.sim.rng import SeededRng
+from repro.core.rng import SeededRng
 
 
 def first_fit(

@@ -26,7 +26,7 @@ from repro.core.closeness import ClosenessMetric, make_metric
 from repro.core.kernel import ClosenessKernel, kernel_enabled
 from repro.core.profiles import PublisherDirectory
 from repro.core.units import AllocationUnit
-from repro.sim.rng import SeededRng
+from repro.core.rng import SeededRng
 
 
 def pairwise_cluster(

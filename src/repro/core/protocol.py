@@ -1,0 +1,72 @@
+"""CROC's control-plane message types (paper §III-A).
+
+The Broker Information Request/Answer protocol is how the coordinator
+in :mod:`repro.core.croc` learns about the running overlay, so the
+dataclasses live here in ``core`` — the bottom layer of the package
+DAG — and :mod:`repro.pubsub.message` re-exports them next to the
+data-plane messages the brokers exchange.  Nothing in this module may
+import from ``pubsub``: the types carry only core-level payloads
+(:class:`~repro.core.capacity.BrokerSpec`, subscription records,
+publisher profiles), typed loosely to keep the protocol layer free of
+circular imports.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+#: Nominal size of control-plane messages in kB (subs, advs, BIR/BIA).
+CONTROL_MESSAGE_KB = 0.1
+
+_bir_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class BrokerInformationRequest:
+    """BIR — flooded through the overlay by CROC."""
+
+    request_id: int = field(default_factory=lambda: next(_bir_ids))
+
+
+@dataclass
+class BrokerInformationAnswer:
+    """BIA — one broker's report, possibly aggregating its subtree.
+
+    ``reports`` maps broker_id → :class:`BrokerReport`; brokers merge
+    the BIAs received from the neighbors they forwarded the BIR to into
+    their own before answering, which reduces protocol overhead (paper
+    §III-A).
+    """
+
+    request_id: int
+    reports: Dict[str, "BrokerReport"]
+
+
+@dataclass
+class BrokerReport:
+    """What one broker tells CROC about itself (the BIA payload).
+
+    Mirrors the paper's BIA contents: URL, matching delay function,
+    total output bandwidth, local subscriptions with profiles, local
+    publishers with profiles.  The concrete types live in
+    :mod:`repro.core`; this dataclass just carries them.
+    """
+
+    broker_id: str
+    url: str
+    spec: Any  # repro.core.capacity.BrokerSpec
+    subscriptions: list  # list[repro.core.units.SubscriptionRecord]
+    publishers: list  # list[repro.core.profiles.PublisherProfile]
+    #: The broker's *measured* matching-delay function (OLS fit over its
+    #: recent processing samples); None until enough samples accumulate.
+    measured_delay: Any = None
+
+
+__all__ = [
+    "CONTROL_MESSAGE_KB",
+    "BrokerInformationAnswer",
+    "BrokerInformationRequest",
+    "BrokerReport",
+]

@@ -127,6 +127,9 @@ def _ensure_spawnable(snapshot: RegistrySnapshot) -> None:
 def _worker_init(snapshot: RegistrySnapshot) -> None:
     """Per-worker setup: mirror the parent's non-built-in registrations."""
     for name, builder in snapshot:
+        # Replays builders the parent already proved picklable (the
+        # snapshot itself crossed the process boundary); audited in
+        # reprolint-baseline.json.
         allocators.register(name, builder, replace=True)
 
 

@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, Iterable, List
+
+from repro.obs.report import format_rows as format_rows  # historical public path
 
 
 def reduction(baseline: float, value: float) -> float:
@@ -10,39 +12,6 @@ def reduction(baseline: float, value: float) -> float:
     if baseline <= 0:
         return 0.0
     return 1.0 - value / baseline
-
-
-def format_rows(rows: Sequence[Mapping[str, object]],
-                columns: Optional[Sequence[str]] = None) -> str:
-    """Render dict rows as an aligned, pipe-separated text table.
-
-    The benchmark harness prints these so the regenerated figures can
-    be compared side-by-side with the paper's plots.
-    """
-    if not rows:
-        return "(no rows)"
-    if columns is None:
-        columns = list(rows[0].keys())
-    rendered: List[List[str]] = [[str(column) for column in columns]]
-    for row in rows:
-        rendered.append([_cell(row.get(column, "")) for column in columns])
-    widths = [
-        max(len(line[index]) for line in rendered) for index in range(len(columns))
-    ]
-    lines = []
-    for line_index, line in enumerate(rendered):
-        lines.append(
-            " | ".join(cell.ljust(widths[index]) for index, cell in enumerate(line))
-        )
-        if line_index == 0:
-            lines.append("-+-".join("-" * width for width in widths))
-    return "\n".join(lines)
-
-
-def _cell(value: object) -> str:
-    if isinstance(value, float):
-        return f"{value:.4g}"
-    return str(value)
 
 
 def series(results: Iterable, x_key: str, y_key: str) -> List[Dict[str, object]]:

@@ -12,19 +12,48 @@ vary run to run); everything else in the summary is deterministic.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.obs.export import SCHEMA_VERSION, merged_counters, validate_records
 
 
-def _format_rows(rows: Sequence[Dict[str, object]]) -> str:
-    # Imported lazily: ``repro.obs`` must stay a leaf package (core and
-    # pubsub modules import it for their instrumentation hooks), while
-    # the experiments package imports those same modules — a module-
-    # level import here would close that cycle during interpreter
-    # start-up.
-    from repro.experiments.report import format_rows
+def format_rows(rows: Sequence[Mapping[str, object]],
+                columns: Optional[Sequence[str]] = None) -> str:
+    """Render dict rows as an aligned, pipe-separated text table.
 
+    This is the one table renderer the whole harness prints with: it
+    lives here, in the leaf ``obs`` package, so both the observation
+    summary below and the figure suite in ``experiments`` (which
+    re-exports it from :mod:`repro.experiments.report`) can share it
+    without ``obs`` importing upward.
+    """
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered: List[List[str]] = [[str(column) for column in columns]]
+    for row in rows:
+        rendered.append([_cell(row.get(column, "")) for column in columns])
+    widths = [
+        max(len(line[index]) for line in rendered) for index in range(len(columns))
+    ]
+    lines = []
+    for line_index, line in enumerate(rendered):
+        lines.append(
+            " | ".join(cell.ljust(widths[index]) for index, cell in enumerate(line))
+        )
+        if line_index == 0:
+            lines.append("-+-".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _format_rows(rows: Sequence[Dict[str, object]]) -> str:
     return format_rows(rows)
 
 

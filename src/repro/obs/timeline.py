@@ -16,7 +16,7 @@ per-broker message rates over the elapsed interval.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.obs.recorder import Recorder
 

@@ -10,14 +10,27 @@ payload.
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Any, Dict, Tuple
 
+from repro.core.protocol import (  # noqa: F401 — historical public path
+    CONTROL_MESSAGE_KB,
+    BrokerInformationAnswer,
+    BrokerInformationRequest,
+    BrokerReport,
+)
 from repro.pubsub.predicate import Predicate
 
-#: Nominal size of control-plane messages in kB (subs, advs, BIR/BIA).
-CONTROL_MESSAGE_KB = 0.1
+__all__ = [
+    "Advertisement",
+    "BrokerInformationAnswer",
+    "BrokerInformationRequest",
+    "BrokerReport",
+    "CONTROL_MESSAGE_KB",
+    "Publication",
+    "Subscription",
+    "Unsubscription",
+]
 
 
 @dataclass(frozen=True)
@@ -73,49 +86,7 @@ class Publication:
         return replace(self, hops=self.hops + 1)
 
 
-# ----------------------------------------------------------------------
-# Control plane: CROC's information gathering protocol (paper §III-A)
-# ----------------------------------------------------------------------
-
-_bir_ids = itertools.count()
-
-
-@dataclass(frozen=True)
-class BrokerInformationRequest:
-    """BIR — flooded through the overlay by CROC."""
-
-    request_id: int = field(default_factory=lambda: next(_bir_ids))
-
-
-@dataclass
-class BrokerInformationAnswer:
-    """BIA — one broker's report, possibly aggregating its subtree.
-
-    ``reports`` maps broker_id → :class:`BrokerReport`; brokers merge
-    the BIAs received from the neighbors they forwarded the BIR to into
-    their own before answering, which reduces protocol overhead (paper
-    §III-A).
-    """
-
-    request_id: int
-    reports: Dict[str, "BrokerReport"]
-
-
-@dataclass
-class BrokerReport:
-    """What one broker tells CROC about itself (the BIA payload).
-
-    Mirrors the paper's BIA contents: URL, matching delay function,
-    total output bandwidth, local subscriptions with profiles, local
-    publishers with profiles.  The concrete types live in
-    :mod:`repro.core`; this dataclass just carries them.
-    """
-
-    broker_id: str
-    url: str
-    spec: Any  # repro.core.capacity.BrokerSpec
-    subscriptions: list  # list[repro.core.units.SubscriptionRecord]
-    publishers: list  # list[repro.core.profiles.PublisherProfile]
-    #: The broker's *measured* matching-delay function (OLS fit over its
-    #: recent processing samples); None until enough samples accumulate.
-    measured_delay: Any = None
+# The control-plane types (BrokerInformationRequest/Answer, BrokerReport,
+# CONTROL_MESSAGE_KB) moved to repro.core.protocol so the CROC
+# coordinator in core/ does not import upward into pubsub/; they remain
+# importable from this module (see the re-export block above).

@@ -1,25 +1,40 @@
 """Repo-specific correctness tooling.
 
-:mod:`repro.tools.lint` (``python -m repro.tools.lint``) is *reprolint*,
-an AST-based static-analysis pass enforcing the invariants the
-reproduction's headline numbers depend on:
+:mod:`repro.tools.lint` (``python -m repro.tools lint``) is *reprolint*,
+an AST-based static analyzer with two planes:
+
+**Per-file rules** enforce the invariants the reproduction's headline
+numbers depend on:
 
 * **determinism** — all randomness flows through
-  :class:`repro.sim.rng.SeededRng`, and no wall-clock reads leak into
+  :class:`repro.core.rng.SeededRng`, and no wall-clock reads leak into
   the allocator, simulator, or workload paths;
 * **unit-safety** — float-typed capacity/bandwidth/rate quantities are
   never compared with ``==``/``!=``; the tolerance helpers in
   :mod:`repro.core.units` are mandatory;
-* **interchangeability** — every allocator registered in
-  :mod:`repro.core` keeps the common ``allocate(units, pool,
-  directory)`` signature so schemes stay swappable in experiments.
+* **hygiene** — future annotations everywhere, no unused imports.
+
+**Whole-program passes** (:mod:`repro.tools.project` and friends) see
+the project import graph at once:
+
+* **layering** — the package DAG ``core → sim → pubsub → workloads →
+  experiments`` (with ``obs``/``tools`` as leaves) has no cycles and no
+  upward imports;
+* **determinism-taint** — set-iteration order, ``os.environ``,
+  wall-clock reads, and unmanaged randomness are tracked through
+  assignments and cross-module calls until they reach allocation
+  decisions or exported output;
+* **contracts** — every registered allocator honours the
+  ``allocate(units, pool, directory)`` signature, builders stay
+  picklable, and ``__all__`` lists stay honest.
 
 See the "Static analysis & invariants" section of the README for the
-full rule list and the suppression syntax.
+rule list, pass descriptions, baseline format, and suppression syntax.
 """
 
 from __future__ import annotations
 
+from repro.tools.baseline import BaselineEntry, apply_baseline, load_baseline
 from repro.tools.engine import (
     Finding,
     LintError,
@@ -30,14 +45,38 @@ from repro.tools.engine import (
     lint_source,
     rule,
 )
+from repro.tools.lint import LintRun, run_lint
+from repro.tools.project import (
+    ImportEdge,
+    ModuleInfo,
+    ParseFailure,
+    Project,
+    ProjectPass,
+    all_passes,
+    project_pass,
+    run_passes,
+)
 
 __all__ = [
+    "BaselineEntry",
     "Finding",
+    "ImportEdge",
     "LintError",
+    "LintRun",
     "Module",
+    "ModuleInfo",
+    "ParseFailure",
+    "Project",
+    "ProjectPass",
     "Rule",
+    "all_passes",
     "all_rules",
+    "apply_baseline",
     "lint_paths",
     "lint_source",
+    "load_baseline",
+    "project_pass",
     "rule",
+    "run_lint",
+    "run_passes",
 ]

@@ -1,0 +1,38 @@
+"""``python -m repro.tools`` — subcommand dispatch for the dev tooling.
+
+``lint`` is the only subcommand today; the package entry point exists
+so future tools (``graph``, ``fix`` as first-class verbs) slot in
+without another module path to remember.  ``python -m
+repro.tools.lint`` keeps working unchanged.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.tools.lint import EXIT_ERROR, main as lint_main
+
+_USAGE = """\
+usage: python -m repro.tools COMMAND [options]
+
+commands:
+  lint    run reprolint (per-file rules + whole-program passes);
+          see `python -m repro.tools lint --help`
+"""
+
+
+def main(argv=None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args or args[0] in ("-h", "--help"):
+        print(_USAGE, end="")
+        return 0
+    command, rest = args[0], args[1:]
+    if command == "lint":
+        return lint_main(rest)
+    print(f"repro.tools: unknown command {command!r}\n{_USAGE}",
+          end="", file=sys.stderr)
+    return EXIT_ERROR
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,181 @@
+"""``--fix``: mechanical rewrites for the two provably safe rules.
+
+Only two rules are mechanically safe to fix — adding the missing
+``from __future__ import annotations`` and deleting unused imports —
+because neither can change runtime behaviour of a module that imports
+cleanly.  Everything else stays a human decision.
+
+Idempotency is not assumed, it is *asserted*: after rewriting a file
+the fixer re-lints the result with the same two rules and re-runs
+itself; any remaining finding or second-round change raises
+:class:`FixError` and the original file content is restored.  That
+fix-then-relint loop is what lets ``--fix`` run unattended in CI.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Tuple
+
+from repro.tools.engine import LintError, Module, resolve_rules, run_rules
+from repro.tools.rules import unused_import_aliases
+
+#: The rules --fix may touch, by name.
+FIXABLE_RULES = ("future-annotations", "unused-import")
+
+
+class FixError(LintError):
+    """A fix did not converge (non-idempotent or still findings after)."""
+
+
+@dataclass
+class FixResult:
+    """What happened to one file."""
+
+    path: str
+    changed: bool
+    removed_imports: int
+    added_future: bool
+
+
+def _has_future_annotations(tree: ast.Module) -> bool:
+    for node in tree.body:
+        if (
+            isinstance(node, ast.ImportFrom)
+            and node.module == "__future__"
+            and any(alias.name == "annotations" for alias in node.names)
+        ):
+            return True
+    return False
+
+
+def _future_insert_line(text: str, tree: ast.Module) -> int:
+    """0-based line index where the future import belongs.
+
+    After the module docstring when there is one, otherwise after the
+    leading comment block (shebang, coding cookie, licence header).
+    """
+    if (
+        tree.body
+        and isinstance(tree.body[0], ast.Expr)
+        and isinstance(tree.body[0].value, ast.Constant)
+        and isinstance(tree.body[0].value.value, str)
+    ):
+        return tree.body[0].end_lineno or tree.body[0].lineno
+    lines = text.splitlines()
+    index = 0
+    while index < len(lines) and (
+        lines[index].startswith("#") or not lines[index].strip()
+    ):
+        index += 1
+    return index
+
+
+def _rebuild_import(node: ast.stmt, keep: List[ast.alias], indent: str) -> str:
+    parts = [
+        alias.name + (f" as {alias.asname}" if alias.asname else "")
+        for alias in keep
+    ]
+    if isinstance(node, ast.ImportFrom):
+        prefix = "." * node.level + (node.module or "")
+        statement = f"{indent}from {prefix} import " + ", ".join(parts)
+    else:
+        statement = f"{indent}import " + ", ".join(parts)
+    if len(statement) <= 88:
+        return statement
+    if isinstance(node, ast.ImportFrom):
+        inner = "".join(f"{indent}    {part},\n" for part in parts)
+        return (
+            f"{indent}from {'.' * node.level}{node.module or ''} import (\n"
+            f"{inner}{indent})"
+        )
+    return statement  # long plain imports stay on one line
+
+
+def fix_source(text: str, path: str = "<fixture>") -> Tuple[str, FixResult]:
+    """One fixing sweep over a source string (no idempotency check)."""
+    module = Module(text, path)
+    lines = text.splitlines(keepends=True)
+    result = FixResult(path=path, changed=False, removed_imports=0,
+                       added_future=False)
+
+    # Unused imports first: deletions, applied bottom-up so line
+    # numbers stay valid.  Suppressed findings must survive --fix:
+    # side-effect imports (rule/pass registration) carry an inline
+    # disable comment, and deleting them would change behaviour.
+    unused = [
+        (node, alias)
+        for node, alias in unused_import_aliases(module)
+        if not module.suppressed(
+            module.finding(node, "unused-import", "candidate")
+        )
+    ]
+    by_node: dict = {}
+    for node, alias in unused:
+        by_node.setdefault(id(node), (node, []))[1].append(alias)
+    edits = sorted(
+        by_node.values(), key=lambda pair: pair[0].lineno, reverse=True
+    )
+    for node, dead_aliases in edits:
+        keep = [alias for alias in node.names if alias not in dead_aliases]
+        start = node.lineno - 1
+        end = (node.end_lineno or node.lineno) - 1
+        indent = lines[start][: len(lines[start]) - len(lines[start].lstrip())]
+        if keep:
+            replacement = _rebuild_import(node, keep, indent) + "\n"
+            lines[start : end + 1] = [replacement]
+        else:
+            del lines[start : end + 1]
+        result.removed_imports += len(dead_aliases)
+        result.changed = True
+
+    new_text = "".join(lines)
+
+    # Missing future import: insertion (re-parse after deletions so the
+    # docstring location is exact).
+    reparsed = ast.parse(new_text, filename=path)
+    if new_text.strip() and not _has_future_annotations(reparsed):
+        insert_at = _future_insert_line(new_text, reparsed)
+        new_lines = new_text.splitlines(keepends=True)
+        statement = "from __future__ import annotations\n"
+        padding: List[str] = []
+        if insert_at > 0:
+            padding = ["\n"]
+        if insert_at < len(new_lines) and new_lines[insert_at].strip():
+            statement = statement + "\n"
+        new_lines[insert_at:insert_at] = padding + [statement]
+        new_text = "".join(new_lines)
+        result.added_future = True
+        result.changed = True
+
+    return new_text, result
+
+
+def fix_source_checked(text: str, path: str = "<fixture>") -> Tuple[str, FixResult]:
+    """Fix, then assert the fix converged (relint clean + idempotent)."""
+    fixed, result = fix_source(text, path)
+    rules = resolve_rules(FIXABLE_RULES)
+    remaining = run_rules(Module(fixed, path), rules)
+    if remaining:
+        raise FixError(
+            f"{path}: findings remain after --fix (fixer bug): "
+            + "; ".join(str(finding) for finding in remaining)
+        )
+    refixed, second = fix_source(fixed, path)
+    if second.changed or refixed != fixed:
+        raise FixError(f"{path}: --fix is not idempotent (fixer bug)")
+    return fixed, result
+
+
+def fix_paths(paths: List[Path]) -> List[FixResult]:
+    """Fix files in place; convergence failures restore the original."""
+    results: List[FixResult] = []
+    for file_path in paths:
+        original = file_path.read_text(encoding="utf-8")
+        fixed, result = fix_source_checked(original, str(file_path))
+        if result.changed:
+            file_path.write_text(fixed, encoding="utf-8")
+        results.append(result)
+    return results

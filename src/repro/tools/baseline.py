@@ -1,0 +1,134 @@
+"""Committed baseline for incremental adoption of new analyses.
+
+A baseline file lists findings the repo has *audited and accepted*, so
+a newly grown pass can gate CI from day one without first fixing every
+historical hit.  The format keeps the audit honest:
+
+* every entry MUST carry a written ``justification`` — an entry
+  without one is a hard error, not a suppression;
+* the ``layering`` pass accepts no baseline entries at all: layer
+  violations are fixed by moving code, never grandfathered;
+* entries that no longer match anything become ``stale-baseline``
+  findings, so the file shrinks as defects are fixed instead of
+  accreting dead weight.
+
+Matching is by (rule, path, message substring) — line numbers drift
+with every edit and are deliberately not part of the key.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Sequence, Tuple
+
+from repro.tools.engine import Finding, LintError
+
+BASELINE_VERSION = 1
+
+#: Passes that must reach zero findings without suppression.
+NO_BASELINE_PASSES = ("layering",)
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One audited, justified suppression."""
+
+    rule: str
+    path: str
+    contains: str
+    justification: str
+
+    def matches(self, finding: Finding) -> bool:
+        return (
+            finding.rule == self.rule
+            and finding.path == self.path
+            and self.contains in finding.message
+        )
+
+    def describe(self) -> str:
+        return f"{self.rule} @ {self.path} ~ {self.contains!r}"
+
+
+def load_baseline(path: Path) -> List[BaselineEntry]:
+    """Parse and validate a baseline file (strict: bad entries raise)."""
+    try:
+        raw = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise LintError(f"{path}: cannot read baseline: {exc}") from exc
+    except ValueError as exc:
+        raise LintError(f"{path}: baseline is not valid JSON: {exc}") from exc
+    if not isinstance(raw, dict) or raw.get("version") != BASELINE_VERSION:
+        raise LintError(
+            f"{path}: expected a baseline object with version={BASELINE_VERSION}"
+        )
+    entries_raw = raw.get("entries")
+    if not isinstance(entries_raw, list):
+        raise LintError(f"{path}: baseline 'entries' must be a list")
+    entries: List[BaselineEntry] = []
+    for index, item in enumerate(entries_raw):
+        if not isinstance(item, dict):
+            raise LintError(f"{path}: entry {index} is not an object")
+        missing = [
+            key
+            for key in ("rule", "path", "contains", "justification")
+            if not isinstance(item.get(key), str) or not item.get(key).strip()
+        ]
+        if missing:
+            raise LintError(
+                f"{path}: entry {index} missing/empty {', '.join(missing)} — "
+                "every baseline entry needs a written justification"
+            )
+        if item["rule"] in NO_BASELINE_PASSES:
+            raise LintError(
+                f"{path}: entry {index} suppresses the {item['rule']!r} pass; "
+                "layering violations are fixed, not baselined"
+            )
+        entries.append(
+            BaselineEntry(
+                rule=item["rule"],
+                path=item["path"],
+                contains=item["contains"],
+                justification=item["justification"],
+            )
+        )
+    return entries
+
+
+def apply_baseline(
+    findings: Sequence[Finding],
+    entries: Sequence[BaselineEntry],
+    baseline_path: str,
+) -> Tuple[List[Finding], int]:
+    """Filter baselined findings; stale entries become findings.
+
+    Returns (remaining findings incl. stale-baseline ones, suppressed
+    count).
+    """
+    remaining: List[Finding] = []
+    used = [False] * len(entries)
+    suppressed = 0
+    for finding in findings:
+        matched = False
+        for index, entry in enumerate(entries):
+            if entry.matches(finding):
+                used[index] = True
+                matched = True
+        if matched:
+            suppressed += 1
+        else:
+            remaining.append(finding)
+    for index, entry in enumerate(entries):
+        if not used[index]:
+            remaining.append(
+                Finding(
+                    baseline_path,
+                    1,
+                    0,
+                    "stale-baseline",
+                    f"baseline entry no longer matches any finding — delete "
+                    f"it: {entry.describe()}",
+                )
+            )
+    return sorted(remaining, key=lambda f: f.sort_key), suppressed

@@ -1,0 +1,169 @@
+"""Content-hash result cache keeping full-repo analysis fast.
+
+Two cache planes, one JSON file:
+
+* **per-file** — findings of the per-file rules, keyed by the file's
+  SHA-256 and the rule signature.  A file that did not change re-uses
+  its findings without re-parsing the rules over it.
+* **whole-program** — findings of the project passes, keyed by the
+  hash of *every* analyzed file (sources and the usage index): any
+  edit anywhere invalidates them, because a pass's verdict can depend
+  on any module.
+
+Both keys fold in a *tool signature* — the SHA-256 of the analyzer's
+own sources — so editing reprolint invalidates everything (the classic
+stale-linter-cache trap).  Corrupt or incompatible cache files are
+discarded silently: the cache is an accelerator, never a source of
+truth, and a warm run must produce byte-for-byte the findings of a
+cold run (pinned by a test).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.tools.engine import Finding
+
+_CACHE_VERSION = 1
+
+_tool_signature: Optional[str] = None
+
+
+def tool_signature() -> str:
+    """SHA-256 over the analyzer's own source files (cached per process)."""
+    global _tool_signature
+    if _tool_signature is None:
+        digest = hashlib.sha256()
+        tools_dir = Path(__file__).resolve().parent
+        for source in sorted(tools_dir.glob("*.py")):
+            digest.update(source.name.encode("utf-8"))
+            digest.update(b"\0")
+            digest.update(source.read_bytes())
+        _tool_signature = digest.hexdigest()
+    return _tool_signature
+
+
+def _finding_to_list(finding: Finding) -> List[object]:
+    return [finding.path, finding.line, finding.col, finding.rule, finding.message]
+
+
+def _finding_from_list(raw: Sequence[object]) -> Finding:
+    path, line, col, rule_name, message = raw
+    return Finding(str(path), int(line), int(col), str(rule_name), str(message))
+
+
+class LintCache:
+    """The on-disk cache; load once, consult, save once."""
+
+    def __init__(self, path: Path):
+        self.path = path
+        self._files: Dict[str, Dict[str, object]] = {}
+        self._project: Dict[str, object] = {}
+        self.hits = 0
+        self.misses = 0
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            raw = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if not isinstance(raw, dict) or raw.get("version") != _CACHE_VERSION:
+            return
+        if raw.get("tool") != tool_signature():
+            return  # the analyzer changed: every cached verdict is suspect
+        files = raw.get("files")
+        project = raw.get("project")
+        if isinstance(files, dict):
+            self._files = files
+        if isinstance(project, dict):
+            self._project = project
+
+    def save(self) -> None:
+        payload = {
+            "version": _CACHE_VERSION,
+            "tool": tool_signature(),
+            "files": self._files,
+            "project": self._project,
+        }
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self.path.write_text(
+                json.dumps(payload, sort_keys=True), encoding="utf-8"
+            )
+        except OSError:
+            pass  # a cache that cannot persist is just a cold cache
+
+    # -- per-file plane -------------------------------------------------
+    def file_key(self, sha256: str, rules_sig: str) -> str:
+        return f"{sha256}:{rules_sig}"
+
+    def get_file(
+        self, path: str, sha256: str, rules_sig: str
+    ) -> Optional[List[Finding]]:
+        entry = self._files.get(path)
+        if not isinstance(entry, dict):
+            self.misses += 1
+            return None
+        if entry.get("key") != self.file_key(sha256, rules_sig):
+            self.misses += 1
+            return None
+        findings = entry.get("findings")
+        if not isinstance(findings, list):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return [_finding_from_list(raw) for raw in findings]
+
+    def put_file(
+        self, path: str, sha256: str, rules_sig: str, findings: Sequence[Finding]
+    ) -> None:
+        self._files[path] = {
+            "key": self.file_key(sha256, rules_sig),
+            "findings": [_finding_to_list(f) for f in findings],
+        }
+
+    # -- whole-program plane -------------------------------------------
+    def get_project(self, project_sig: str) -> Optional[List[Finding]]:
+        if self._project.get("key") != project_sig:
+            self.misses += 1
+            return None
+        findings = self._project.get("findings")
+        if not isinstance(findings, list):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return [_finding_from_list(raw) for raw in findings]
+
+    def put_project(self, project_sig: str, findings: Sequence[Finding]) -> None:
+        self._project = {
+            "key": project_sig,
+            "findings": [_finding_to_list(f) for f in findings],
+        }
+
+
+def rules_signature(rule_names: Sequence[str]) -> str:
+    digest = hashlib.sha256(tool_signature().encode("utf-8"))
+    for name in sorted(rule_names):
+        digest.update(b"\0")
+        digest.update(name.encode("utf-8"))
+    return digest.hexdigest()
+
+
+def project_signature(
+    file_hashes: Sequence[Tuple[str, str]], pass_names: Sequence[str]
+) -> str:
+    """Hash over every (path, sha256) pair plus the selected passes."""
+    digest = hashlib.sha256(tool_signature().encode("utf-8"))
+    for path, sha in sorted(file_hashes):
+        digest.update(b"\0")
+        digest.update(path.encode("utf-8"))
+        digest.update(b"=")
+        digest.update(sha.encode("utf-8"))
+    for name in sorted(pass_names):
+        digest.update(b"\1")
+        digest.update(name.encode("utf-8"))
+    return digest.hexdigest()

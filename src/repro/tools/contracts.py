@@ -1,0 +1,365 @@
+"""The ``api-contract`` pass: the pluggable-allocator surface, enforced.
+
+Three families of checks, all whole-program:
+
+* **Registered allocators** — every ``register(...)`` call that
+  resolves to :func:`repro.core.allocators.register` (directly or via
+  an alias) is located repo-wide; its *builder* argument must resolve,
+  through the import graph, to a module-level function or class (or an
+  instance of a module-level class), because process-pool workers
+  replay registrations by pickling builders by reference.  This
+  supersedes the per-file unpicklable-worker heuristic for builders:
+  resolution follows ``from x import y`` chains instead of guessing
+  from local syntax.  Every allocator class reachable from a builder
+  must keep the interchangeable-scheme signature
+  ``allocate(self, units, pool, directory)``.
+
+* **``__all__`` consistency** — every name a module exports must be
+  bound at module level (a typo in ``__all__`` breaks
+  ``from m import *`` and silently lies to readers).
+
+* **Dead exports** — a name in a non-``__init__`` module's ``__all__``
+  that no other module (including the tests/benchmarks usage index)
+  references is dead surface: either delete it or move it where its
+  users live.  Package ``__init__`` files are exempt — their
+  ``__all__`` is the public API for downstream users, not for this
+  repo.  The reference scan is name-based (any load/attribute/import
+  of the name anywhere counts), so it errs toward keeping exports.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.tools.engine import Finding
+from repro.tools.project import ModuleInfo, Project, project_pass
+
+#: The registry module and the callables that bind builders.
+REGISTRY_MODULE = "repro.core.allocators"
+_REGISTER_NAMES = {"register", "register_allocator"}
+
+#: The interchangeable-scheme entry-point signature.
+ALLOCATE_PARAMS = ("self", "units", "pool", "directory")
+
+
+# ----------------------------------------------------------------------
+# __all__ handling
+# ----------------------------------------------------------------------
+
+
+def module_exports(info: ModuleInfo) -> Optional[Tuple[int, List[str]]]:
+    """(lineno, names) of a module's literal ``__all__``, if present."""
+    for node in info.module.tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == "__all__":
+                    if isinstance(node.value, (ast.List, ast.Tuple)):
+                        names = [
+                            elt.value
+                            for elt in node.value.elts
+                            if isinstance(elt, ast.Constant)
+                            and isinstance(elt.value, str)
+                        ]
+                        return node.lineno, names
+    return None
+
+
+def _module_level_bindings(info: ModuleInfo) -> Set[str]:
+    """Names bound at module scope (including conditional branches)."""
+    bound: Set[str] = set()
+
+    def scan(body: List[ast.stmt]) -> None:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                bound.add(node.name)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    _bind_target(target, bound)
+            elif isinstance(node, ast.AnnAssign):
+                _bind_target(node.target, bound)
+            elif isinstance(node, ast.AugAssign):
+                _bind_target(node.target, bound)
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound.add(alias.asname or alias.name.split(".")[0])
+            elif isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    if alias.name == "*":
+                        bound.add("*")
+                    else:
+                        bound.add(alias.asname or alias.name)
+            elif isinstance(node, (ast.If, ast.Try)):
+                scan(node.body)
+                scan(getattr(node, "orelse", []))
+                for handler in getattr(node, "handlers", []):
+                    scan(handler.body)
+                scan(getattr(node, "finalbody", []))
+            elif isinstance(node, (ast.For, ast.While, ast.With)):
+                if isinstance(node, ast.For):
+                    _bind_target(node.target, bound)
+                elif isinstance(node, ast.With):
+                    for item in node.items:
+                        if item.optional_vars is not None:
+                            _bind_target(item.optional_vars, bound)
+                scan(node.body)
+                scan(node.orelse if hasattr(node, "orelse") else [])
+
+    scan(info.module.tree.body)
+    return bound
+
+
+def _bind_target(target: ast.AST, bound: Set[str]) -> None:
+    if isinstance(target, ast.Name):
+        bound.add(target.id)
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            _bind_target(elt, bound)
+    elif isinstance(target, ast.Starred):
+        _bind_target(target.value, bound)
+
+
+def _referenced_names(info: ModuleInfo) -> Set[str]:
+    """Every identifier a module loads, accesses, imports, or re-exports."""
+    names: Set[str] = set()
+    for node in ast.walk(info.module.tree):
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.add(node.attr)
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                names.add(alias.name)
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            # __all__ re-export lists in aggregating modules.
+            if node.value.isidentifier():
+                names.add(node.value)
+    return names
+
+
+# ----------------------------------------------------------------------
+# Registered-builder resolution
+# ----------------------------------------------------------------------
+
+
+def _is_register_call(
+    project: Project, info: ModuleInfo, node: ast.Call
+) -> bool:
+    func = node.func
+    if isinstance(func, ast.Name):
+        if func.id not in _REGISTER_NAMES:
+            return False
+        resolved = project.resolve_name(info.name, func.id)
+        if resolved is not None:
+            return resolved[0] == REGISTRY_MODULE
+        # Inside the registry module itself the def resolves locally.
+        return info.name == REGISTRY_MODULE
+    if isinstance(func, ast.Attribute) and func.attr in _REGISTER_NAMES:
+        base = func.value
+        parts: List[str] = []
+        while isinstance(base, ast.Attribute):
+            parts.append(base.attr)
+            base = base.value
+        if isinstance(base, ast.Name):
+            parts.append(base.id)
+            dotted = ".".join(reversed(parts))
+            return dotted.endswith("allocators") or dotted == REGISTRY_MODULE
+    return False
+
+
+def _builder_argument(node: ast.Call) -> Optional[ast.AST]:
+    if len(node.args) >= 2:
+        return node.args[1]
+    for keyword in node.keywords:
+        if keyword.arg == "builder":
+            return keyword.value
+    return None
+
+
+def _iter_register_calls(
+    project: Project,
+) -> Iterator[Tuple[ModuleInfo, ast.Call, ast.AST]]:
+    for name in sorted(project.modules):
+        info = project.modules[name]
+        for node in ast.walk(info.module.tree):
+            if isinstance(node, ast.Call) and _is_register_call(project, info, node):
+                builder = _builder_argument(node)
+                if builder is not None:
+                    yield info, node, builder
+
+
+def _classes_reached(
+    project: Project, module_name: str, root: ast.AST
+) -> Iterator[Tuple[str, ast.ClassDef]]:
+    """Class definitions referenced (by name) inside ``root``."""
+    seen: Set[Tuple[str, str]] = set()
+    for node in ast.walk(root):
+        if not isinstance(node, ast.Name):
+            continue
+        resolved = project.resolve_name(module_name, node.id)
+        if resolved is None or not isinstance(resolved[1], ast.ClassDef):
+            continue
+        key = (resolved[0], resolved[1].name)
+        if key not in seen:
+            seen.add(key)
+            yield resolved[0], resolved[1]
+
+
+def _allocate_signature_findings(
+    project: Project, module_name: str, cls: ast.ClassDef
+) -> Iterator[Finding]:
+    for item in cls.body:
+        if (
+            isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and item.name == "allocate"
+        ):
+            args = item.args
+            names = tuple(arg.arg for arg in args.posonlyargs + args.args)
+            irregular = (
+                names != ALLOCATE_PARAMS
+                or args.vararg is not None
+                or args.kwarg is not None
+                or bool(args.kwonlyargs)
+            )
+            if irregular:
+                yield Finding(
+                    project.modules[module_name].path,
+                    item.lineno,
+                    item.col_offset,
+                    "api-contract",
+                    f"registered allocator {cls.name}.allocate has signature "
+                    f"{names}; the registry contract is "
+                    "allocate(self, units, pool, directory)",
+                )
+
+
+def _builder_findings(
+    project: Project, info: ModuleInfo, call: ast.Call, builder: ast.AST
+) -> Iterator[Finding]:
+    def finding(message: str) -> Finding:
+        return Finding(
+            info.path, call.lineno, call.col_offset, "api-contract", message
+        )
+
+    if isinstance(builder, ast.Lambda):
+        yield finding(
+            "allocator builder is a lambda; spawned pool workers replay "
+            "registrations by pickling builders by reference — register a "
+            "module-level function or class instance"
+        )
+        body_module, body = info.name, builder
+    elif isinstance(builder, ast.Name):
+        resolved = project.resolve_name(info.name, builder.id)
+        if resolved is None:
+            yield finding(
+                f"allocator builder {builder.id!r} does not resolve to a "
+                "module-level definition in the analyzed tree; builders "
+                "must be statically resolvable for pickling by reference"
+            )
+            return
+        body_module, body = resolved
+        if isinstance(body, ast.Lambda):
+            yield finding(
+                f"allocator builder {builder.id!r} is a lambda-valued name; "
+                "pickling by reference needs a module-level def or class"
+            )
+    elif isinstance(builder, ast.Call) and isinstance(builder.func, ast.Name):
+        resolved = project.resolve_name(info.name, builder.func.id)
+        if resolved is None:
+            yield finding(
+                f"allocator builder {ast.dump(builder.func)} is not "
+                "statically resolvable"
+            )
+            return
+        body_module, body = resolved
+        if isinstance(body, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield finding(
+                f"allocator builder {builder.func.id}(...) is produced by a "
+                "function call — the closure it returns cannot be pickled "
+                "by reference; register an instance of a module-level "
+                "class instead"
+            )
+    else:
+        yield finding(
+            "allocator builder expression is not statically resolvable "
+            "(expected a module-level name, class instance, or def)"
+        )
+        return
+
+    for class_module, cls in _classes_reached(project, body_module, body):
+        yield from _allocate_signature_findings(project, class_module, cls)
+
+
+# ----------------------------------------------------------------------
+# The pass
+# ----------------------------------------------------------------------
+
+
+@project_pass(
+    "api-contract",
+    "registered allocator builders must be picklable module-level "
+    "callables keeping allocate(self, units, pool, directory); __all__ "
+    "must be consistent and free of dead exports",
+)
+def check_api_contract(project: Project) -> List[Finding]:
+    findings: List[Finding] = []
+
+    # A class reached from several register calls would repeat its
+    # signature finding; dedupe on the full finding identity.
+    seen: Set[Tuple[str, int, int, str]] = set()
+    for info, call, builder in _iter_register_calls(project):
+        for found in _builder_findings(project, info, call, builder):
+            key = (found.path, found.line, found.col, found.message)
+            if key not in seen:
+                seen.add(key)
+                findings.append(found)
+
+    # Name-reference index for the dead-export scan: everything any
+    # *other* module (or the usage index) references.
+    references: Dict[str, Set[str]] = {}
+    all_infos = list(project.modules.values()) + list(
+        project.usage_modules.values()
+    )
+    for info in all_infos:
+        references[info.name] = _referenced_names(info)
+
+    for name in sorted(project.modules):
+        info = project.modules[name]
+        exports = module_exports(info)
+        if exports is None:
+            continue
+        lineno, exported = exports
+        bound = _module_level_bindings(info)
+        star_imports = "*" in bound
+        for export in exported:
+            if export not in bound and not star_imports:
+                findings.append(
+                    Finding(
+                        info.path,
+                        lineno,
+                        0,
+                        "api-contract",
+                        f"__all__ exports {export!r} which is not bound at "
+                        "module level",
+                    )
+                )
+        if info.path.endswith("__init__.py"):
+            continue  # public API surface: exempt from dead-export
+        for export in exported:
+            used = any(
+                export in refs
+                for other, refs in references.items()
+                if other != info.name
+            )
+            if not used:
+                findings.append(
+                    Finding(
+                        info.path,
+                        lineno,
+                        0,
+                        "api-contract",
+                        f"dead export: __all__ lists {export!r} but no other "
+                        "module (src, tests, or benchmarks) references it",
+                    )
+                )
+    return findings

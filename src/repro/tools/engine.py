@@ -179,7 +179,7 @@ def rule(name: str, summary: str) -> Callable[[RuleCheck], RuleCheck]:
 def _load_builtin_rules() -> None:
     # Imported lazily: rules.py needs the decorator above, so a
     # module-level import here would be circular.
-    from repro.tools import rules as _rules  # noqa: F401
+    from repro.tools import rules as _rules  # noqa: F401  # reprolint: disable=unused-import (registration side effect)
 
 
 def all_rules() -> List[Rule]:

@@ -1,0 +1,144 @@
+"""Output renderers: text, JSON, and SARIF 2.1.0.
+
+SARIF is the interchange format CI code-scanning UIs ingest; the
+emitter here covers the subset those UIs read (tool driver with rule
+metadata, one result per finding with a physical location).  Output is
+deterministic: findings arrive pre-sorted and no timestamps or
+absolute paths are embedded.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from repro.tools.engine import Finding
+from repro.tools.project import ParseFailure
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def render_text(
+    findings: Sequence[Finding],
+    parse_failures: Sequence[ParseFailure],
+    checked: int,
+    suppressed: int = 0,
+) -> str:
+    lines = [str(failure) + " [parse-error]" for failure in parse_failures]
+    lines += [str(finding) for finding in findings]
+    status = "clean" if not findings and not parse_failures else (
+        f"{len(findings)} finding(s)"
+        + (f", {len(parse_failures)} parse failure(s)" if parse_failures else "")
+    )
+    suffix = f", {suppressed} baselined" if suppressed else ""
+    lines.append(f"reprolint: {checked} file(s) checked, {status}{suffix}")
+    return "\n".join(lines)
+
+
+def render_json(
+    findings: Sequence[Finding],
+    parse_failures: Sequence[ParseFailure],
+    checked: int,
+    rule_names: Sequence[str],
+    pass_names: Sequence[str],
+    suppressed: int = 0,
+) -> str:
+    return json.dumps(
+        {
+            "checked_files": checked,
+            "rules": list(rule_names),
+            "passes": list(pass_names),
+            "suppressed_by_baseline": suppressed,
+            "parse_failures": [
+                {"path": failure.path, "message": failure.message}
+                for failure in parse_failures
+            ],
+            "findings": [finding.to_dict() for finding in findings],
+        },
+        indent=2,
+        sort_keys=True,
+    )
+
+
+def render_sarif(
+    findings: Sequence[Finding],
+    parse_failures: Sequence[ParseFailure],
+    rule_metadata: Dict[str, str],
+) -> str:
+    """SARIF log with one run; parse failures become tool notifications."""
+    rule_ids = sorted(
+        set(rule_metadata) | {finding.rule for finding in findings}
+    )
+    rules = [
+        {
+            "id": rule_id,
+            "shortDescription": {
+                "text": rule_metadata.get(rule_id, rule_id)
+            },
+        }
+        for rule_id in rule_ids
+    ]
+    index_of = {rule_id: index for index, rule_id in enumerate(rule_ids)}
+    results: List[Dict[str, object]] = [
+        {
+            "ruleId": finding.rule,
+            "ruleIndex": index_of[finding.rule],
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": finding.path.replace("\\", "/")},
+                        "region": {
+                            "startLine": max(finding.line, 1),
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for finding in findings
+    ]
+    notifications = [
+        {
+            "level": "error",
+            "message": {"text": failure.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": failure.path.replace("\\", "/")}
+                    }
+                }
+            ],
+        }
+        for failure in parse_failures
+    ]
+    log = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "informationUri": (
+                            "https://example.invalid/repro/tools"
+                        ),
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+                "invocations": [
+                    {
+                        "executionSuccessful": not parse_failures,
+                        "toolExecutionNotifications": notifications,
+                    }
+                ],
+            }
+        ],
+    }
+    return json.dumps(log, indent=2, sort_keys=True)

@@ -13,7 +13,7 @@ repo-specific: they know the package layout (``core/``, ``sim/``,
 from __future__ import annotations
 
 import ast
-from typing import Iterator, Optional, Set, Tuple
+from typing import Iterator, List, Optional, Set, Tuple
 
 from repro.tools.engine import Finding, Module, rule
 
@@ -50,12 +50,12 @@ def _identifier_tokens(node: ast.AST) -> Set[str]:
 # ----------------------------------------------------------------------
 
 #: The one module allowed to touch the stdlib RNG.
-_RNG_HOME = ("sim", "rng.py")
+_RNG_HOME = ("core", "rng.py")
 
 
 @rule(
     "unmanaged-random",
-    "random / numpy.random may only be used inside sim/rng.py; draw from SeededRng",
+    "random / numpy.random may only be used inside core/rng.py; draw from SeededRng",
 )
 def check_unmanaged_random(module: Module) -> Iterator[Finding]:
     if module.is_module(*_RNG_HOME):
@@ -67,7 +67,7 @@ def check_unmanaged_random(module: Module) -> Iterator[Finding]:
                     yield module.finding(
                         node,
                         "unmanaged-random",
-                        f"import of {alias.name!r} outside sim/rng.py; "
+                        f"import of {alias.name!r} outside core/rng.py; "
                         "route randomness through repro.sim.rng.SeededRng",
                     )
         elif isinstance(node, ast.ImportFrom):
@@ -80,7 +80,7 @@ def check_unmanaged_random(module: Module) -> Iterator[Finding]:
                 yield module.finding(
                     node,
                     "unmanaged-random",
-                    f"import from {source!r} outside sim/rng.py; "
+                    f"import from {source!r} outside core/rng.py; "
                     "route randomness through repro.sim.rng.SeededRng",
                 )
         elif isinstance(node, ast.Attribute) and node.attr == "random":
@@ -88,7 +88,7 @@ def check_unmanaged_random(module: Module) -> Iterator[Finding]:
                 yield module.finding(
                     node,
                     "unmanaged-random",
-                    "numpy.random accessed outside sim/rng.py; "
+                    "numpy.random accessed outside core/rng.py; "
                     "route randomness through repro.sim.rng.SeededRng",
                 )
 
@@ -539,3 +539,127 @@ def check_wall_clock_output(module: Module) -> Iterator[Finding]:
                 "through repro.obs spans (wall_s) or the computation_s "
                 "pattern, in an allowlisted module",
             )
+
+
+# ----------------------------------------------------------------------
+# Rule 11 — no unused imports (autofixable)
+# ----------------------------------------------------------------------
+
+
+def _import_bound_name(alias: ast.alias) -> str:
+    """The name an import statement binds in the module namespace."""
+    if alias.asname:
+        return alias.asname
+    return alias.name.split(".")[0]
+
+
+def _used_names(module: Module) -> Set[str]:
+    """Identifiers the module can observably use.
+
+    Counts Name loads/stores (a store means the import is shadowed, but
+    flagging shadowed imports is rule-creep), ``__all__`` string
+    entries, and names mentioned in string annotations.
+    """
+    used: Set[str] = set()
+    annotation_roots: List[ast.expr] = []
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Name):
+            used.add(node.id)
+        elif isinstance(node, ast.arg) and node.annotation is not None:
+            annotation_roots.append(node.annotation)
+        elif isinstance(node, ast.AnnAssign):
+            annotation_roots.append(node.annotation)
+        elif isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ) and node.returns is not None:
+            annotation_roots.append(node.returns)
+    # Quoted forward references ("ClosenessKernel") hide their names in
+    # string constants; parse every string found inside an annotation.
+    pending = list(annotation_roots)
+    while pending:
+        root = pending.pop()
+        for node in ast.walk(root):
+            if isinstance(node, ast.Constant) and isinstance(node.value, str):
+                try:
+                    parsed = ast.parse(node.value, mode="eval")
+                except SyntaxError:
+                    continue
+                used.update(
+                    inner.id
+                    for inner in ast.walk(parsed)
+                    if isinstance(inner, ast.Name)
+                )
+    exports = set()
+    for node in module.tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == "__all__":
+                    if isinstance(node.value, (ast.List, ast.Tuple)):
+                        for elt in node.value.elts:
+                            if isinstance(elt, ast.Constant) and isinstance(
+                                elt.value, str
+                            ):
+                                exports.add(elt.value)
+    return used | exports
+
+
+def unused_import_aliases(
+    module: Module,
+) -> List[Tuple[ast.stmt, ast.alias]]:
+    """(import statement, alias) pairs bound but never used.
+
+    Shared by the ``unused-import`` rule and the ``--fix`` rewriter so
+    the two can never disagree about what is removable.  Skips
+    ``__future__`` imports, star imports, explicit re-exports
+    (``import x as x`` / ``from m import n as n``), and ``__init__.py``
+    files without an ``__all__`` (their imports *are* the API).
+    """
+    is_init = module.path.endswith("__init__.py")
+    has_all = any(
+        isinstance(node, ast.Assign)
+        and any(
+            isinstance(target, ast.Name) and target.id == "__all__"
+            for target in node.targets
+        )
+        for node in module.tree.body
+    )
+    if is_init and not has_all:
+        return []
+    used = _used_names(module)
+    unused: List[Tuple[ast.stmt, ast.alias]] = []
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = _import_bound_name(alias)
+                if alias.asname == alias.name:
+                    continue  # explicit re-export convention
+                if bound not in used:
+                    unused.append((node, alias))
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "__future__":
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                if alias.asname == alias.name:
+                    continue  # explicit re-export convention
+                bound = alias.asname or alias.name
+                if bound not in used:
+                    unused.append((node, alias))
+    return unused
+
+
+@rule(
+    "unused-import",
+    "imported names must be used, exported via __all__, or re-exported "
+    "with the `as` convention (autofixable with --fix)",
+)
+def check_unused_import(module: Module) -> Iterator[Finding]:
+    for node, alias in unused_import_aliases(module):
+        bound = alias.asname or alias.name
+        yield module.finding(
+            node,
+            "unused-import",
+            f"unused import {bound!r}; remove it (or re-export it as "
+            f"`{alias.name} as {alias.name}` / list it in __all__)",
+        )

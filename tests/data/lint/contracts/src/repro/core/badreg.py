@@ -1,0 +1,20 @@
+"""Fixture: every api-contract violation family in one module."""
+
+from __future__ import annotations
+
+from repro.core import allocators
+
+
+class WrongAllocator:
+    def allocate(self, units, brokers):
+        return None
+
+
+def make_wrong(**_):
+    return WrongAllocator
+
+
+allocators.register("lambda-builder", lambda **_: WrongAllocator)
+allocators.register("wrong-signature", make_wrong)
+
+__all__ = ["WrongAllocator", "ghost_export"]

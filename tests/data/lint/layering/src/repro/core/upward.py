@@ -1,0 +1,9 @@
+"""Fixture: a bottom-layer module importing a top-layer package."""
+
+from __future__ import annotations
+
+from repro.experiments.runner import run_experiment
+
+
+def shortcut():
+    return run_experiment

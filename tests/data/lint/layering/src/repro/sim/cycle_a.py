@@ -1,0 +1,9 @@
+"""Fixture: one half of an import-time cycle."""
+
+from __future__ import annotations
+
+from repro.sim.cycle_b import beta
+
+
+def alpha():
+    return beta

@@ -1,0 +1,9 @@
+"""Fixture: the other half of an import-time cycle."""
+
+from __future__ import annotations
+
+from repro.sim.cycle_a import alpha
+
+
+def beta():
+    return alpha

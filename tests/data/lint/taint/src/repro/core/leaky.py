@@ -1,0 +1,26 @@
+"""Fixture: determinism taint reaching every sink class (all findings)."""
+
+from __future__ import annotations
+
+import os
+import time
+
+
+def allocate(self, units, pool, directory):
+    order = {unit for unit in units}
+    picked = list(order)
+    return picked
+
+
+def wall_report():
+    started = time.time()
+    print(started)
+
+
+def env_row():
+    mode = os.environ.get("REPRO_MODE", "default")
+    return {"mode": mode}
+
+
+def as_row():
+    return env_row()

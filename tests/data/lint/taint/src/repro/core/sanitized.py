@@ -1,0 +1,14 @@
+"""Fixture: the same shapes with sanitizers applied (zero findings)."""
+
+from __future__ import annotations
+
+
+def allocate(self, units, pool, directory):
+    order = {unit for unit in units}
+    picked = sorted(order)
+    return picked
+
+
+def count_row(units):
+    distinct = {unit for unit in units}
+    return {"count": len(distinct)}

@@ -105,6 +105,12 @@ RULE_CASES = {
         "import time\n\ndef stamp():\n"
         "    return time.perf_counter()  # reprolint: disable=wall-clock-output\n",
     ),
+    "unused-import": (
+        "import math\n\nx = 1\n",
+        CORE,
+        "import math\n\nx = math.pi\n",
+        "import math  # reprolint: disable=unused-import\n\nx = 1\n",
+    ),
 }
 
 
@@ -138,8 +144,8 @@ def test_rule_suppression_comment(rule_name):
 # ----------------------------------------------------------------------
 
 
-def test_unmanaged_random_allows_sim_rng_itself():
-    assert findings_for("unmanaged-random", "import random\n", "src/repro/sim/rng.py") == []
+def test_unmanaged_random_allows_core_rng_itself():
+    assert findings_for("unmanaged-random", "import random\n", "src/repro/core/rng.py") == []
 
 
 def test_unmanaged_random_catches_numpy_forms():
@@ -369,6 +375,7 @@ def test_cli_json_output(tmp_path, capsys):
     assert {finding["rule"] for finding in payload["findings"]} == {
         "unmanaged-random",
         "future-annotations",
+        "unused-import",
     }
     assert all(finding["line"] >= 1 for finding in payload["findings"])
 
