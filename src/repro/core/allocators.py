@@ -28,7 +28,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Tuple
 
 from repro.core.binpacking import BinPackingAllocator
-from repro.core.cram import CramAllocator
+from repro.core.cram import CramAllocator, ShardedCramAllocator
 from repro.core.fbf import FbfAllocator
 
 #: A zero-argument callable producing a fresh allocator instance.
@@ -114,11 +114,34 @@ class _CramBuilder:
         return lambda: CramAllocator(metric=metric, failure_budget=budget)
 
 
+class _ShardedCramBuilder:
+    """Builder for sharded-Phase-2 CRAM (see ``repro.core.cram``).
+
+    Module-level class for the same pickling-by-reference reason as
+    :class:`_CramBuilder`.  The shard *runner* is intentionally not a
+    knob here: it is process state installed by
+    ``repro.experiments.parallel`` (or left serial), so a worker that
+    replays this registration builds an allocator wired to *its own*
+    runner.
+    """
+
+    def __init__(self, metric: str, shards: int = 4):
+        self.metric = metric
+        self.shards = shards
+
+    def __call__(self, failure_budget: Any = None, **_: Any) -> AllocatorFactory:
+        metric, shards, budget = self.metric, self.shards, failure_budget
+        return lambda: ShardedCramAllocator(
+            metric=metric, shards=shards, failure_budget=budget
+        )
+
+
 register("fbf", _fbf_builder)
 register("binpacking", _binpacking_builder)
 for _metric in ("intersect", "xor", "ios", "iou"):
     register(f"cram-{_metric}", _CramBuilder(_metric))
 del _metric
+register("cram-ios-sharded", _ShardedCramBuilder("ios"))
 
 #: Import-time snapshot of the built-in registrations.  Every Python
 #: process that imports this module gets exactly these, so a spawned

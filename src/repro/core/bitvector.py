@@ -27,6 +27,8 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, List, Optional, Tuple
 
+from repro.core.popcount import fused_counts, popcount
+
 DEFAULT_CAPACITY = 1280
 
 
@@ -98,7 +100,7 @@ class BitVector:
     def cardinality(self) -> int:
         """Number of set bits, i.e. publications received in-window."""
         if self._card is None:
-            self._card = self._bits.bit_count()
+            self._card = popcount(self._bits)
         return self._card
 
     def __len__(self) -> int:
@@ -234,27 +236,26 @@ class BitVector:
 
     def intersection_cardinality(self, other: "BitVector") -> int:
         _f, _c, mine, theirs = self._aligned_with(other)
-        return (mine & theirs).bit_count()
+        return popcount(mine & theirs)
 
     def union_cardinality(self, other: "BitVector") -> int:
         _f, _c, mine, theirs = self._aligned_with(other)
-        return (mine | theirs).bit_count()
+        return popcount(mine | theirs)
 
     def xor_cardinality(self, other: "BitVector") -> int:
         _f, _c, mine, theirs = self._aligned_with(other)
-        return (mine ^ theirs).bit_count()
+        return popcount(mine ^ theirs)
 
     def fused_cardinalities(self, other: "BitVector") -> Tuple[int, int, int]:
         """``(|∩|, |∪|, |⊕|)`` from a single window alignment.
 
-        One ``_aligned_with`` pass feeds all three popcounts, so callers
-        that need several counts (the XOR closeness metric, the fused
+        One ``_aligned_with`` pass feeds the shared
+        :func:`repro.core.popcount.fused_counts` helper, so callers that
+        need several counts (the XOR closeness metric, the fused
         kernel's fallback path) pay the big-int shifts only once.
         """
         _f, _c, mine, theirs = self._aligned_with(other)
-        intersect = (mine & theirs).bit_count()
-        union = (mine | theirs).bit_count()
-        return intersect, union, union - intersect
+        return fused_counts(mine, theirs)
 
     def covers(self, other: "BitVector") -> bool:
         """Whether every bit set in ``other`` is also set here."""

@@ -1,0 +1,343 @@
+"""Columnar bit-plane profile store with vectorized closeness rows.
+
+The fused kernel (:mod:`repro.core.kernel`) packs each *pure*
+subscription profile into one big int laid out on a shared
+:class:`~repro.core.kernel.BitPlaneLayout`.  This module is the next
+step: all packed profiles live together as **rows of contiguous
+little-endian 64-bit words** so a one-vs-all closeness row becomes a
+single AND + popcount sweep over a matrix instead of ``n`` big-int
+operations.
+
+Two backends share one bit-identical row layout (word ``j`` of a row
+holds plane bits ``64*j .. 64*j+63``):
+
+``numpy``
+    A growing ``(rows, words)`` ``uint64`` matrix; intersections are
+    ``bitwise_count(matrix[candidates] & matrix[i]).sum(axis=1)``.
+``python``
+    One big int per row, counted via :mod:`repro.core.popcount`.  Core
+    stays dependency-free: this backend is selected automatically when
+    numpy (or ``numpy.bitwise_count``) is unavailable.
+
+Both backends produce identical integer counts, and
+:meth:`ColumnarStore.closeness_rows` keeps float identity with the
+scalar metrics because every intermediate (``i``, ``i*i``, ``u``) is an
+exact integer far below 2**53, so the final IEEE-754 division is the
+same correctly-rounded operation the per-pair path performs.
+
+Env toggles (mirroring ``REPRO_CLOSENESS_KERNEL``):
+
+``REPRO_COLUMNAR``
+    ``0``/``off``/``false``/``no`` disables the store (kernel falls
+    back to per-pair big-int ops).  Default: on.
+``REPRO_COLUMNAR_BACKEND``
+    ``auto`` (default), ``numpy``, or ``python``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.core.closeness import XOR_MAX
+from repro.core.popcount import popcount
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via backend forcing
+    _np = None  # type: ignore[assignment]
+
+#: Env var disabling the columnar store ("0"/"off"/"false"/"no").
+COLUMNAR_ENV_VAR = "REPRO_COLUMNAR"
+
+#: Env var forcing the backend ("auto"/"numpy"/"python").
+BACKEND_ENV_VAR = "REPRO_COLUMNAR_BACKEND"
+
+_DISABLED = frozenset({"0", "off", "false", "no"})
+
+#: Metric-name → evaluation mode, identical to the fused kernel's map.
+_MODES = {"intersect": 0, "xor": 1, "ios": 2, "iou": 3}
+
+
+def numpy_available() -> bool:
+    """Whether the numpy backend can run (needs ``bitwise_count``)."""
+    return _np is not None and hasattr(_np, "bitwise_count")
+
+
+def columnar_enabled(override: Optional[bool] = None) -> bool:
+    """Resolve the columnar on/off switch.
+
+    An explicit ``override`` wins; otherwise ``REPRO_COLUMNAR``
+    decides; the default is on.
+    """
+    if override is not None:
+        return override
+    value = os.environ.get(COLUMNAR_ENV_VAR)
+    if value is None:
+        return True
+    return value.strip().lower() not in _DISABLED
+
+
+def resolve_backend(requested: Optional[str] = None) -> str:
+    """Pick ``"numpy"`` or ``"python"``.
+
+    ``requested`` (or ``REPRO_COLUMNAR_BACKEND``) may be ``auto`` —
+    numpy when usable, python otherwise — or an explicit backend.
+    Forcing ``numpy`` without a usable numpy is an error rather than a
+    silent fallback: a benchmark that silently degraded would lie.
+    """
+    if requested is None:
+        requested = os.environ.get(BACKEND_ENV_VAR, "auto")
+    name = requested.strip().lower() or "auto"
+    if name == "auto":
+        return "numpy" if numpy_available() else "python"
+    if name == "numpy":
+        if not numpy_available():
+            raise RuntimeError(
+                "columnar backend 'numpy' requested but numpy with "
+                "bitwise_count is not importable"
+            )
+        return "numpy"
+    if name == "python":
+        return "python"
+    raise ValueError(
+        f"unknown columnar backend {requested!r}; expected auto, numpy, "
+        "or python"
+    )
+
+
+class ColumnarStore:
+    """Packed profile rows over a fixed bit-plane width.
+
+    Rows are allocated by :meth:`add_row` and recycled by
+    :meth:`free_row` through a LIFO free list — CRAM's probe merges
+    pack and forget pseudo-profiles constantly, and reuse keeps the
+    matrix bounded by the number of *live* profiles, not the number of
+    packs ever performed.
+    """
+
+    __slots__ = ("backend", "total_bits", "words", "_free", "_high",
+                 "_matrix", "_cards", "_rows")
+
+    def __init__(self, total_bits: int, backend: Optional[str] = None):
+        self.backend = resolve_backend(backend)
+        self.total_bits = max(0, int(total_bits))
+        self.words = (self.total_bits + 63) // 64
+        self._free: List[int] = []
+        self._high = 0
+        if self.backend == "numpy":
+            self._matrix: Any = _np.zeros((64, self.words), dtype=_np.uint64)
+            self._cards: Any = _np.zeros(64, dtype=_np.int64)
+            self._rows: List[int] = []
+        else:
+            self._matrix = None
+            self._cards = None
+            self._rows = []
+
+    # ------------------------------------------------------------------
+    # Row lifecycle
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Number of live (allocated, not freed) rows."""
+        return self._high - len(self._free)
+
+    @property
+    def high_water(self) -> int:
+        """Rows ever allocated simultaneously (matrix height in use)."""
+        return self._high
+
+    def _grow_to(self, rows: int) -> None:
+        # Callers bump _high before growing, so copy the whole old
+        # matrix (every previously valid row), not a _high-based slice.
+        old = int(self._matrix.shape[0])
+        if rows <= old:
+            return
+        capacity = old
+        while capacity < rows:
+            capacity *= 2
+        matrix = _np.zeros((capacity, self.words), dtype=_np.uint64)
+        matrix[:old] = self._matrix
+        cards = _np.zeros(capacity, dtype=_np.int64)
+        cards[:old] = self._cards
+        self._matrix = matrix
+        self._cards = cards
+
+    def _row_words(self, bits: int) -> Any:
+        raw = bits.to_bytes(self.words * 8, "little")
+        return _np.frombuffer(raw, dtype="<u8")
+
+    def add_row(self, bits: int) -> int:
+        """Store a packed pattern; returns the row index."""
+        if self._free:
+            row = self._free.pop()
+        else:
+            row = self._high
+            self._high += 1
+            if self.backend == "numpy":
+                self._grow_to(self._high)
+            else:
+                self._rows.append(0)
+        if self.backend == "numpy":
+            if self.words:
+                self._matrix[row] = self._row_words(bits)
+            self._cards[row] = popcount(bits)
+        else:
+            self._rows[row] = bits
+        return row
+
+    def add_rows(self, patterns: Sequence[int]) -> List[int]:
+        """Bulk-append packed patterns (streaming ingest fast path).
+
+        Rows are always appended at the high-water mark (the free list
+        is not consulted); one buffer build + one matrix assignment per
+        chunk instead of per row.
+        """
+        if not patterns:
+            return []
+        start = self._high
+        count = len(patterns)
+        self._high += count
+        if self.backend == "numpy":
+            self._grow_to(self._high)
+            if self.words:
+                raw = b"".join(
+                    bits.to_bytes(self.words * 8, "little")
+                    for bits in patterns
+                )
+                block = _np.frombuffer(raw, dtype="<u8")
+                self._matrix[start : self._high] = block.reshape(
+                    count, self.words
+                )
+            self._cards[start : self._high] = [
+                popcount(bits) for bits in patterns
+            ]
+        else:
+            self._rows.extend(patterns)
+        return list(range(start, self._high))
+
+    def free_row(self, row: int) -> None:
+        """Recycle a row (LIFO, so probe churn reuses hot rows)."""
+        if self.backend == "numpy":
+            if self.words:
+                self._matrix[row] = 0
+            self._cards[row] = 0
+        else:
+            self._rows[row] = 0
+        self._free.append(row)
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def row_bits(self, row: int) -> int:
+        """The packed pattern of a row (both backends, byte-identical)."""
+        if self.backend == "numpy":
+            if not self.words:
+                return 0
+            return int.from_bytes(self._matrix[row].tobytes(), "little")
+        return self._rows[row]
+
+    def cardinality(self, row: int) -> int:
+        if self.backend == "numpy":
+            return int(self._cards[row])
+        return popcount(self._rows[row])
+
+    # ------------------------------------------------------------------
+    # Vectorized sweeps
+    # ------------------------------------------------------------------
+    def intersections(self, row: int, candidates: Sequence[int]) -> List[int]:
+        """``|row ∩ c|`` for every candidate row, in candidate order."""
+        if not candidates:
+            return []
+        if self.backend == "numpy":
+            if not self.words:
+                return [0] * len(candidates)
+            idx = _np.asarray(candidates, dtype=_np.intp)
+            planes = self._matrix[idx] & self._matrix[row]
+            counts = _np.bitwise_count(planes).sum(axis=1, dtype=_np.int64)
+            return counts.tolist()
+        mine = self._rows[row]
+        rows = self._rows
+        return [popcount(mine & rows[c]) for c in candidates]
+
+    def pair_counts(
+        self, row: int, candidates: Sequence[int]
+    ) -> Tuple[List[int], List[int]]:
+        """``(intersections, unions)`` against every candidate row.
+
+        Unions come from cached cardinalities (``|a|+|b|-|a∩b|``) —
+        no second sweep.
+        """
+        inters = self.intersections(row, candidates)
+        mine = self.cardinality(row)
+        unions = [
+            mine + self.cardinality(c) - inter
+            for c, inter in zip(candidates, inters)
+        ]
+        return inters, unions
+
+    def closeness_rows(
+        self, name: str, row: int, candidates: Sequence[int]
+    ) -> List[float]:
+        """One-vs-all closeness values, bit-identical to the scalar path.
+
+        ``name`` is a prunable-agnostic metric name (``intersect``,
+        ``xor``, ``ios``, ``iou``).  All integer intermediates are exact
+        in float64 (``i*i < 2**53`` for any realistic plane width), so
+        each output is the same single correctly-rounded division the
+        per-pair metric computes.
+        """
+        mode = _MODES.get(name)
+        if mode is None:
+            raise KeyError(f"unknown closeness metric {name!r}")
+        if not candidates:
+            return []
+        if self.backend == "numpy":
+            return self._closeness_rows_numpy(mode, row, candidates)
+        inters, unions = self.pair_counts(row, candidates)
+        out: List[float] = []
+        mine = self.cardinality(row)
+        for c, intersect, union in zip(candidates, inters, unions):
+            if mode == 0:
+                out.append(float(intersect))
+            elif mode == 1:
+                xor = union - intersect
+                out.append(XOR_MAX if xor == 0 else 1.0 / xor)
+            elif intersect == 0:
+                out.append(0.0)
+            elif mode == 2:
+                other = popcount(self._rows[c])
+                out.append(intersect * intersect / (mine + other))
+            else:
+                out.append(intersect * intersect / union)
+        return out
+
+    def _closeness_rows_numpy(
+        self, mode: int, row: int, candidates: Sequence[int]
+    ) -> List[float]:
+        idx = _np.asarray(candidates, dtype=_np.intp)
+        if self.words:
+            planes = self._matrix[idx] & self._matrix[row]
+            inter = _np.bitwise_count(planes).sum(axis=1, dtype=_np.int64)
+        else:
+            inter = _np.zeros(len(candidates), dtype=_np.int64)
+        if mode == 0:
+            values: Any = inter.astype(_np.float64)
+            return values.tolist()
+        union = self._cards[row] + self._cards[idx] - inter
+        if mode == 1:
+            xor = union - inter
+            values = _np.full(len(candidates), XOR_MAX, dtype=_np.float64)
+            nonzero = xor != 0
+            _np.divide(1.0, xor, out=values, where=nonzero)
+            return values.tolist()
+        inter_f = inter.astype(_np.float64)
+        numerator = inter_f * inter_f  # exact: i*i < 2**53
+        denominator = (
+            (self._cards[row] + self._cards[idx]).astype(_np.float64)
+            if mode == 2
+            else union.astype(_np.float64)
+        )
+        values = _np.zeros(len(candidates), dtype=_np.float64)
+        hit = inter != 0
+        _np.divide(numerator, denominator, out=values, where=hit)
+        return values.tolist()

@@ -34,8 +34,20 @@ Per-relationship clustering rules (paper §IV-C.1):
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+from contextlib import contextmanager
+from dataclasses import dataclass, field, replace
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 from repro.core.binpacking import BinPackingAllocator
 from repro.core.capacity import AllocationResult, BrokerSpec
@@ -43,9 +55,13 @@ from repro.core.closeness import ClosenessMetric, make_metric
 from repro.core.gif import Gif, build_gifs
 from repro.core.kernel import ClosenessKernel, kernel_enabled
 from repro.core.poset import Poset
-from repro.core.profiles import PublisherDirectory, SubscriptionProfile
+from repro.core.profiles import (
+    PublisherDirectory,
+    PublisherProfile,
+    SubscriptionProfile,
+)
 from repro.core.relations import Relation, relationship
-from repro.core.units import AllocationUnit
+from repro.core.units import AllocationUnit, SubscriptionRecord, units_from_records
 from repro.obs import recorder as obs
 
 #: Marker used in the partner table for "GIF paired with itself".
@@ -71,6 +87,9 @@ class CramStats:
     kernel_fused_evaluations: int = 0
     kernel_memo_hits: int = 0
     kernel_fallback_evaluations: int = 0
+    # Sharded Phase-2 diagnostics (zero for monolithic runs).
+    shard_count: int = 0
+    shard_fallbacks: int = 0
 
     @property
     def gif_reduction(self) -> float:
@@ -119,6 +138,7 @@ class CramAllocator:
         failure_budget: Optional[int] = None,
         max_iterations: Optional[int] = None,
         use_kernel: Optional[bool] = None,
+        use_columnar: Optional[bool] = None,
     ):
         if isinstance(metric, str):
             metric = make_metric(metric)
@@ -129,6 +149,10 @@ class CramAllocator:
         self.failure_budget = failure_budget
         self.max_iterations = max_iterations
         self.use_kernel = use_kernel
+        #: Tri-state opt-out of the columnar row store inside the
+        #: kernel (``REPRO_COLUMNAR`` when ``None``).  Like
+        #: ``use_kernel`` this is value-exact — speed only.
+        self.use_columnar = use_columnar
         self.name = f"cram-{metric.name}"
         self.last_stats = CramStats()
         self._binpack = BinPackingAllocator()
@@ -153,7 +177,11 @@ class CramAllocator:
 
         kernel: Optional[ClosenessKernel] = None
         if kernel_enabled(self.use_kernel):
-            kernel = ClosenessKernel(directory, [unit.profile for unit in units])
+            kernel = ClosenessKernel(
+                directory,
+                [unit.profile for unit in units],
+                columnar=self.use_columnar,
+            )
             stats.kernel_used = True
         self.metric.attach_kernel(kernel)
         self._binpack.kernel = kernel
@@ -595,3 +623,366 @@ class _CramState:
         for gif_id, entry in list(self._entries.items()):
             if isinstance(entry.partner, Gif) and entry.partner.gif_id == gif.gif_id:
                 self._dirty.add(gif_id)
+
+
+# ----------------------------------------------------------------------
+# Sharded Phase 2 (paper §IV-D's recursion applied *inside* Phase 2)
+# ----------------------------------------------------------------------
+#
+# The partner search is quadratic in the GIF count, so splitting a pool
+# into S shards cuts the dominant cost by ~S even on one core.  Shards
+# are allocated independently (each by a fresh monolithic CRAM run,
+# possibly on the spawn pool — see ``install_shard_runner``), and every
+# shard-local broker bin comes back as one *pseudo-subscription* merged
+# from its members; a final CRAM pass over the pseudo-units then plays
+# the role Phase 3 plays for brokers, recursively clustering the
+# shard results onto the real pool.
+#
+# Determinism: the shard partition is a pure function of the unit list
+# (GIF groups, first-occurrence order, greedy lightest-shard placement),
+# shard results are consumed strictly in submission order (the
+# ``index`` check below makes a runner that reorders — e.g. by
+# iterating a dict of futures — an immediate error), and each shard's
+# bin contents are returned as record positions, so the merge rebuilds
+# pseudo-units in one deterministic order regardless of worker timing.
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One shard's allocation job, shippable to a spawn-pool worker.
+
+    Records (not units) cross the process boundary: workers rebuild
+    units with :func:`~repro.core.units.units_from_records`, so the
+    fresh ``unit_id`` sequence in the worker is order-isomorphic to the
+    parent's — every comparison CRAM performs on unit IDs is relative,
+    never absolute.
+    """
+
+    index: int
+    records: Tuple[SubscriptionRecord, ...]
+    pool: Tuple[BrokerSpec, ...]
+    directory: Dict[str, PublisherProfile]
+    metric: str
+    enable_gif_grouping: bool = True
+    enable_pruning: bool = True
+    enable_one_to_many: bool = True
+    failure_budget: Optional[int] = None
+    max_iterations: Optional[int] = None
+    use_kernel: Optional[bool] = None
+    use_columnar: Optional[bool] = None
+
+
+@dataclass(frozen=True)
+class ShardOutcome:
+    """One shard's result: per-bin record positions into the task.
+
+    ``groups`` lists, for every non-empty broker bin of the shard's
+    allocation, the positions (into ``task.records``) of the records it
+    holds, in bin fill order.  Positions — not objects — so the parent
+    maps them back onto *its* units without any pickling identity
+    games.
+    """
+
+    index: int
+    success: bool
+    groups: Tuple[Tuple[int, ...], ...] = ()
+    stats: CramStats = field(default_factory=CramStats)
+
+
+@contextmanager
+def _recorder_silenced() -> Iterator[None]:
+    """Detach any active obs recorder for the duration of a block.
+
+    Shard allocations run without observability no matter where they
+    execute: a spawned worker has no recorder, so the serial in-process
+    runner must not record either — otherwise serial and pooled runs
+    would disagree on the obs surface, breaking bit-identity.
+    """
+    previous = obs.active()
+    if previous is not None:
+        obs.detach()
+    try:
+        yield
+    finally:
+        if previous is not None:
+            obs.attach(previous)
+
+
+def run_shard_task(task: ShardTask) -> ShardOutcome:
+    """Allocate one shard with a fresh monolithic CRAM run.
+
+    Module-level by design: spawn-pool workers pickle this function by
+    reference, importing only ``repro.core.cram``.
+    """
+    allocator = CramAllocator(
+        metric=task.metric,
+        enable_gif_grouping=task.enable_gif_grouping,
+        enable_pruning=task.enable_pruning,
+        enable_one_to_many=task.enable_one_to_many,
+        failure_budget=task.failure_budget,
+        max_iterations=task.max_iterations,
+        use_kernel=task.use_kernel,
+        use_columnar=task.use_columnar,
+    )
+    units = units_from_records(task.records, task.directory)
+    with _recorder_silenced():
+        result = allocator.allocate(units, list(task.pool), task.directory)
+    if not result.success:
+        return ShardOutcome(task.index, False, (), allocator.last_stats)
+    position = {
+        record.sub_id: offset for offset, record in enumerate(task.records)
+    }
+    groups = tuple(
+        tuple(
+            position[record.sub_id]
+            for unit in broker_bin.units
+            for record in unit.members
+        )
+        for broker_bin in result.bins
+        if broker_bin.units
+    )
+    return ShardOutcome(task.index, True, groups, allocator.last_stats)
+
+
+#: A shard runner maps submitted tasks to outcomes **in list order**.
+ShardRunner = Callable[[Sequence[ShardTask]], List[ShardOutcome]]
+
+
+def run_shards_serial(tasks: Sequence[ShardTask]) -> List[ShardOutcome]:
+    """The default runner: in-process, one task at a time, list order."""
+    return [run_shard_task(task) for task in tasks]
+
+
+_shard_runner: ShardRunner = run_shards_serial
+
+
+def install_shard_runner(runner: Optional[ShardRunner]) -> None:
+    """Swap the process-wide shard runner (``None`` restores serial).
+
+    ``repro.experiments.parallel`` installs its spawn-pool runner here
+    at import time; core itself never imports upward.
+    """
+    global _shard_runner
+    _shard_runner = runner if runner is not None else run_shards_serial
+
+
+def plan_shards(
+    units: Sequence[AllocationUnit], shards: int
+) -> Optional[List[List[AllocationUnit]]]:
+    """Deterministic GIF-whole partition of a subscription pool.
+
+    Units with equal profile signatures (one GIF) always land in the
+    same shard, so GIF grouping inside each shard sees exactly the
+    groups it would see monolithically.  Groups are taken in
+    first-occurrence order and placed greedily on the lightest shard by
+    summed delivery bandwidth (ties: lowest shard index) — a pure
+    function of the unit list.
+
+    Returns ``None`` when the pool is not shardable: fewer than two
+    usable shards, or any unit that is not a singleton subscription
+    (Phase-3 pseudo-unit pools keep the monolithic path).
+    """
+    if shards <= 1 or len(units) < 2 * shards:
+        return None
+    for unit in units:
+        if unit.kind != "subscription" or len(unit.members) != 1:
+            return None
+    groups: Dict[Tuple, List[AllocationUnit]] = {}
+    order: List[Tuple] = []
+    for unit in units:
+        signature = unit.profile.signature()
+        bucket = groups.get(signature)
+        if bucket is None:
+            groups[signature] = [unit]
+            order.append(signature)
+        else:
+            bucket.append(unit)
+    if len(order) < shards:
+        return None
+    loads = [0.0] * shards
+    buckets: List[List[AllocationUnit]] = [[] for _ in range(shards)]
+    for signature in order:
+        members = groups[signature]
+        weight = sum(unit.delivery_bandwidth for unit in members)
+        lightest = min(range(shards), key=lambda s: (loads[s], s))
+        buckets[lightest].extend(members)
+        loads[lightest] += weight
+    if any(not bucket for bucket in buckets):
+        return None
+    return buckets
+
+
+def merge_shard_outcomes(
+    outcomes: Sequence[ShardOutcome],
+    shard_units: Sequence[Sequence[AllocationUnit]],
+    directory: PublisherDirectory,
+) -> Optional[List[AllocationUnit]]:
+    """Fold shard results into pseudo-subscriptions, submission order.
+
+    Consumes ``outcomes`` strictly as the submission-order list
+    (never a dict/set view): outcome *i* belongs to shard *i*.  Each
+    shard-local broker bin becomes one pseudo-subscription via
+    :meth:`AllocationUnit.merged` — the same profile-union Phase 3
+    applies to whole brokers.  Returns ``None`` (monolithic fallback)
+    if any shard failed.
+    """
+    pseudo: List[AllocationUnit] = []
+    for expected, (outcome, members) in enumerate(zip(outcomes, shard_units)):
+        if outcome.index != expected:
+            raise ValueError(
+                "shard runner returned outcomes out of submission order: "
+                f"expected shard {expected}, got {outcome.index}"
+            )
+        if not outcome.success:
+            return None
+        for group in outcome.groups:
+            pseudo.append(
+                AllocationUnit.merged(
+                    [members[offset] for offset in group], directory
+                )
+            )
+    return pseudo
+
+
+class ShardedCramAllocator:
+    """CRAM with intra-run sharded Phase 2.
+
+    Partitions the pool with :func:`plan_shards`, allocates each shard
+    through the installed :data:`ShardRunner` (serial by default, the
+    spawn pool when ``repro.experiments.parallel`` is imported), merges
+    per-bin results as pseudo-subscriptions, and runs one final CRAM
+    pass over the pseudo-units — the paper's Phase-3 recursion applied
+    inside Phase 2.  Falls back to a single monolithic run whenever the
+    pool is unshardable or any shard (or the final pass) fails, so the
+    sharded allocator never succeeds less often than plain CRAM.
+
+    The shard count is fixed (default 4) and independent of how many
+    workers execute the tasks — results are invariant to ``--jobs``.
+    """
+
+    def __init__(
+        self,
+        metric: Union[str, ClosenessMetric] = "ios",
+        shards: int = 4,
+        enable_gif_grouping: bool = True,
+        enable_pruning: bool = True,
+        enable_one_to_many: bool = True,
+        failure_budget: Optional[int] = None,
+        max_iterations: Optional[int] = None,
+        use_kernel: Optional[bool] = None,
+        use_columnar: Optional[bool] = None,
+        runner: Optional[ShardRunner] = None,
+    ):
+        if isinstance(metric, ClosenessMetric):
+            metric = metric.name
+        self.metric = metric
+        self.shards = max(1, int(shards))
+        self.enable_gif_grouping = enable_gif_grouping
+        self.enable_pruning = enable_pruning
+        self.enable_one_to_many = enable_one_to_many
+        self.failure_budget = failure_budget
+        self.max_iterations = max_iterations
+        self.use_kernel = use_kernel
+        self.use_columnar = use_columnar
+        self.runner = runner
+        self.name = f"cram-{metric}-sharded"
+        self.last_stats = CramStats()
+
+    def _make_allocator(self) -> CramAllocator:
+        return CramAllocator(
+            metric=self.metric,
+            enable_gif_grouping=self.enable_gif_grouping,
+            enable_pruning=self.enable_pruning,
+            enable_one_to_many=self.enable_one_to_many,
+            failure_budget=self.failure_budget,
+            max_iterations=self.max_iterations,
+            use_kernel=self.use_kernel,
+            use_columnar=self.use_columnar,
+        )
+
+    def _monolithic(
+        self,
+        units: List[AllocationUnit],
+        pool: List[BrokerSpec],
+        directory: PublisherDirectory,
+        after_sharding: bool,
+    ) -> AllocationResult:
+        allocator = self._make_allocator()
+        result = allocator.allocate(units, pool, directory)
+        self.last_stats = replace(
+            allocator.last_stats,
+            shard_count=0,
+            shard_fallbacks=1 if after_sharding else 0,
+        )
+        return result
+
+    def allocate(
+        self,
+        units: Sequence[AllocationUnit],
+        pool: Iterable[BrokerSpec],
+        directory: PublisherDirectory,
+    ) -> AllocationResult:
+        """Shard, allocate, merge, recurse — or fall back monolithic."""
+        units = list(units)
+        pool = list(pool)
+        buckets = plan_shards(units, self.shards)
+        if buckets is None:
+            return self._monolithic(units, pool, directory, after_sharding=False)
+        tasks = [
+            ShardTask(
+                index=index,
+                records=tuple(unit.members[0] for unit in bucket),
+                pool=tuple(pool),
+                directory=dict(directory),
+                metric=self.metric,
+                enable_gif_grouping=self.enable_gif_grouping,
+                enable_pruning=self.enable_pruning,
+                enable_one_to_many=self.enable_one_to_many,
+                failure_budget=self.failure_budget,
+                max_iterations=self.max_iterations,
+                use_kernel=self.use_kernel,
+                use_columnar=self.use_columnar,
+            )
+            for index, bucket in enumerate(buckets)
+        ]
+        runner = self.runner if self.runner is not None else _shard_runner
+        with obs.span("cram.sharding", shards=len(buckets), units=len(units)):
+            outcomes = list(runner(tasks))
+        pseudo = merge_shard_outcomes(outcomes, buckets, directory)
+        if pseudo is None:
+            return self._monolithic(units, pool, directory, after_sharding=True)
+        final = self._make_allocator()
+        result = final.allocate(pseudo, pool, directory)
+        if not result.success:
+            return self._monolithic(units, pool, directory, after_sharding=True)
+        self.last_stats = self._aggregate_stats(
+            units, buckets, outcomes, final.last_stats
+        )
+        return result
+
+    @staticmethod
+    def _aggregate_stats(
+        units: Sequence[AllocationUnit],
+        buckets: Sequence[Sequence[AllocationUnit]],
+        outcomes: Sequence[ShardOutcome],
+        final_stats: CramStats,
+    ) -> CramStats:
+        stats = CramStats(
+            subscriptions=sum(unit.subscription_count for unit in units),
+            initial_units=len(units),
+            shard_count=len(buckets),
+        )
+        for part in [outcome.stats for outcome in outcomes] + [final_stats]:
+            stats.initial_gifs += part.initial_gifs
+            stats.iterations += part.iterations
+            stats.merges += part.merges
+            stats.failures += part.failures
+            stats.closeness_evaluations += part.closeness_evaluations
+            stats.initial_search_evaluations += part.initial_search_evaluations
+            stats.binpack_runs += part.binpack_runs
+            stats.kernel_used = stats.kernel_used or part.kernel_used
+            stats.kernel_fused_evaluations += part.kernel_fused_evaluations
+            stats.kernel_memo_hits += part.kernel_memo_hits
+            stats.kernel_fallback_evaluations += part.kernel_fallback_evaluations
+        stats.final_units = final_stats.final_units
+        return stats

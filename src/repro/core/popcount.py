@@ -1,0 +1,52 @@
+"""Shared popcount primitives for every bit-counting path.
+
+Three call sites used to re-implement the same aligned-AND/OR/XOR
+popcount dance: :class:`~repro.core.bitvector.BitVector`'s cardinality
+methods, the fused kernel's residual fallback, and (new) the columnar
+store's pure-Python backend.  They all route through this module now,
+so the counting semantics live in exactly one place.
+
+Everything here operates on plain non-negative ints (packed bit
+patterns); window alignment stays the callers' job.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+
+def popcount(bits: int) -> int:
+    """Number of set bits (thin, inlinable alias of ``int.bit_count``)."""
+    return bits.bit_count()
+
+
+def fused_counts(mine: int, theirs: int) -> Tuple[int, int, int]:
+    """``(|∩|, |∪|, |⊕|)`` of two aligned bit patterns.
+
+    The XOR count is derived (``|∪| - |∩|``) rather than popcounted a
+    third time — one fewer big-int traversal, same value.
+    """
+    intersect = (mine & theirs).bit_count()
+    union = (mine | theirs).bit_count()
+    return intersect, union, union - intersect
+
+
+def split_words(bits: int, words: int) -> List[int]:
+    """Split a packed pattern into ``words`` little-endian 64-bit words.
+
+    Word ``j`` holds bits ``64*j .. 64*j+63``; the columnar store's
+    backends share this layout so numpy and pure-Python rows are
+    byte-identical.
+    """
+    if words <= 0:
+        return []
+    mask = (1 << 64) - 1
+    return [(bits >> (64 * j)) & mask for j in range(words)]
+
+
+def join_words(words: List[int]) -> int:
+    """Inverse of :func:`split_words`."""
+    bits = 0
+    for j, word in enumerate(words):
+        bits |= word << (64 * j)
+    return bits

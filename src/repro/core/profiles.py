@@ -88,7 +88,10 @@ class SubscriptionProfile:
     (advertisement ID) the subscription received publications from.
     """
 
-    __slots__ = ("_capacity", "_vectors", "_card", "_sig")
+    # ``__weakref__`` lets streaming tests observe profile lifetimes
+    # (peak-liveness assertions) without keeping profiles alive; copyreg
+    # excludes it from pickling, so records still ship to pool workers.
+    __slots__ = ("_capacity", "_vectors", "_card", "_sig", "__weakref__")
 
     def __init__(self, capacity: int = DEFAULT_CAPACITY):
         self._capacity = capacity
@@ -223,40 +226,43 @@ class SubscriptionProfile:
                 total += vector.intersection_cardinality(theirs)
         return total
 
-    def union_cardinality(self, other: "SubscriptionProfile") -> int:
-        total = 0
+    def fused_cardinalities(
+        self, other: "SubscriptionProfile"
+    ) -> Tuple[int, int, int]:
+        """``(|∩|, |∪|, |⊕|)`` from one two-sided walk over both profiles.
+
+        This is the single shared counting path: each shared publisher
+        is aligned once via
+        :meth:`~repro.core.bitvector.BitVector.fused_cardinalities`
+        (which routes through :mod:`repro.core.popcount`, the same
+        helper the fused kernel and the columnar store use), and the
+        one-sided vectors contribute their cached cardinalities.
+        :meth:`union_cardinality` and :meth:`xor_cardinality` are thin
+        projections of this walk rather than duplicated traversals.
+        """
+        intersect = 0
+        union = 0
         for adv_id, vector in self._vectors.items():
             theirs = other._vectors.get(adv_id)
             if theirs is None:
-                total += vector.cardinality
+                union += vector.cardinality
             else:
-                total += vector.union_cardinality(theirs)
+                i, u, _x = vector.fused_cardinalities(theirs)
+                intersect += i
+                union += u
         for adv_id, theirs in other._vectors.items():
             if adv_id not in self._vectors:
-                total += theirs.cardinality
-        return total
+                union += theirs.cardinality
+        return intersect, union, union - intersect
+
+    def union_cardinality(self, other: "SubscriptionProfile") -> int:
+        _i, union, _x = self.fused_cardinalities(other)
+        return union
 
     def xor_cardinality(self, other: "SubscriptionProfile") -> int:
-        """``|self ⊕ other|`` in one alignment pass per shared vector.
-
-        Equivalent to ``union_cardinality - intersection_cardinality``
-        but each shared publisher is aligned once via
-        :meth:`~repro.core.bitvector.BitVector.fused_cardinalities`
-        instead of twice — roughly halving the cost of the XOR
-        closeness metric even with the fused kernel disabled.
-        """
-        total = 0
-        for adv_id, vector in self._vectors.items():
-            theirs = other._vectors.get(adv_id)
-            if theirs is None:
-                total += vector.cardinality
-            else:
-                _i, _u, xor = vector.fused_cardinalities(theirs)
-                total += xor
-        for adv_id, theirs in other._vectors.items():
-            if adv_id not in self._vectors:
-                total += theirs.cardinality
-        return total
+        """``|self ⊕ other|`` via the shared fused walk."""
+        _i, _u, xor = self.fused_cardinalities(other)
+        return xor
 
     def covers(self, other: "SubscriptionProfile") -> bool:
         """Whether this profile's bits are a superset of ``other``'s."""

@@ -25,7 +25,11 @@ import sys
 from typing import List, Optional, Sequence
 
 from repro.core.croc import ReconfigurationError
-from repro.experiments.parallel import CellSpec, execute_cells
+from repro.experiments.parallel import (
+    CellSpec,
+    execute_cells,
+    set_default_shard_jobs,
+)
 from repro.experiments.report import format_rows
 from repro.experiments.runner import available_approaches
 from repro.obs import export as obs_export
@@ -93,6 +97,11 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="worker processes for independent cells "
                              "(default 1 = serial; 0 = one per CPU); "
                              "results are bit-identical to serial")
+    parser.add_argument("--shard-jobs", type=int, default=None, metavar="N",
+                        help="worker processes for intra-run Phase-2 "
+                             "shards (cram-ios-sharded; default: "
+                             "REPRO_SHARD_JOBS or serial; 0 = one per "
+                             "CPU); results are bit-identical to serial")
     parser.add_argument("--obs", metavar="PATH", default=None,
                         help="record phase spans / counters / timelines "
                              "and write them to PATH (JSONL, or JSON "
@@ -249,6 +258,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.command in ("run", "figure") and not args.subs:
         args.subs = [25]
+    if getattr(args, "shard_jobs", None) is not None:
+        set_default_shard_jobs(args.shard_jobs)
     if args.command == "run":
         return cmd_run(args)
     if args.command == "figure":

@@ -35,7 +35,7 @@ from dataclasses import dataclass
 from multiprocessing import get_context
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
-from repro.core import allocators
+from repro.core import allocators, cram
 from repro.experiments.runner import ExperimentResult, ExperimentRunner
 from repro.obs import recorder as obs
 from repro.sim.faults import FaultPlan
@@ -43,6 +43,10 @@ from repro.workloads.scenarios import Scenario
 
 #: Registration list shipped to each worker: (name, builder) pairs.
 RegistrySnapshot = Tuple[Tuple[str, allocators.AllocatorBuilder], ...]
+
+#: Worker count for intra-run shard allocation (``ShardedCramAllocator``).
+#: ``<= 1`` keeps shards serial in-process; ``0`` means one per CPU.
+SHARD_JOBS_ENV_VAR = "REPRO_SHARD_JOBS"
 
 
 @dataclass(frozen=True)
@@ -224,3 +228,75 @@ def execute_cells(
             progress(f"[parallel] worker pool broke ({exc}); rerunning serially")
         return _run_serial(specs, progress, return_exceptions)
     return results
+
+
+# ----------------------------------------------------------------------
+# Shard runner: ShardedCramAllocator tasks on the spawn pool
+# ----------------------------------------------------------------------
+
+#: Explicit override of the shard job count (``--shard-jobs``); ``None``
+#: defers to :data:`SHARD_JOBS_ENV_VAR`.
+_default_shard_jobs: Optional[int] = None
+
+
+def set_default_shard_jobs(jobs: Optional[int]) -> None:
+    """Set the shard job count used when :func:`run_shards` gets none."""
+    global _default_shard_jobs
+    _default_shard_jobs = jobs
+
+
+def shard_jobs() -> int:
+    """Resolve the shard job count: explicit default, env, else 1.
+
+    Serial is the default on purpose: shard tasks may themselves run
+    inside sweep-pool workers, and only an explicit opt-in should nest
+    process pools.
+    """
+    if _default_shard_jobs is not None:
+        return resolve_jobs(_default_shard_jobs)
+    raw = os.environ.get(SHARD_JOBS_ENV_VAR, "1").strip()
+    try:
+        value = int(raw)
+    except ValueError:
+        return 1
+    if value < 0:
+        return 1
+    return resolve_jobs(value)
+
+
+def run_shards(
+    tasks: Sequence[cram.ShardTask], jobs: Optional[int] = None
+) -> List[cram.ShardOutcome]:
+    """Execute shard tasks, returning outcomes in submission order.
+
+    The pool variant of :func:`repro.core.cram.run_shards_serial` with
+    the same degradation ladder as :func:`execute_cells`: ``jobs <= 1``
+    or a single task runs serially in-process, and any pool-level
+    failure falls back to the serial path.  Shard outcomes are pure
+    functions of their tasks, so every path is bit-identical.
+    """
+    jobs = shard_jobs() if jobs is None else resolve_jobs(jobs)
+    if jobs <= 1 or len(tasks) <= 1:
+        return cram.run_shards_serial(tasks)
+    try:
+        context = get_context("spawn")
+        pool = ProcessPoolExecutor(
+            max_workers=min(jobs, len(tasks)), mp_context=context
+        )
+    except (OSError, ValueError, ImportError):
+        return cram.run_shards_serial(tasks)
+    try:
+        with pool:
+            futures: List[Future] = [
+                pool.submit(cram.run_shard_task, task) for task in tasks
+            ]
+            # Submission-order collection — never a set/dict of futures.
+            return [future.result() for future in futures]
+    except BrokenExecutor:
+        return cram.run_shards_serial(tasks)
+
+
+# Installing at import time wires every ShardedCramAllocator (registry
+# builds included) to the pool runner whenever the experiments layer is
+# in play; pure-core users keep the serial default.
+cram.install_shard_runner(run_shards)

@@ -1,6 +1,6 @@
 """The ``api-contract`` pass: the pluggable-allocator surface, enforced.
 
-Three families of checks, all whole-program:
+Four families of checks, all whole-program:
 
 * **Registered allocators** — every ``register(...)`` call that
   resolves to :func:`repro.core.allocators.register` (directly or via
@@ -25,6 +25,16 @@ Three families of checks, all whole-program:
   ``__all__`` is the public API for downstream users, not for this
   repo.  The reference scan is name-based (any load/attribute/import
   of the name anywhere counts), so it errs toward keeping exports.
+
+* **Shard-merge ordering** — a function whose name marks it as a
+  shard merge/collection helper (``shard`` plus one of ``merge`` /
+  ``combine`` / ``collect`` / ``gather``) must not iterate a dict view
+  (``.values()`` / ``.items()`` / ``.keys()``) or ``set(...)`` of one
+  of its parameters.  The sharded Phase-2 contract
+  (:func:`repro.core.cram.merge_shard_outcomes`) is that shard results
+  are consumed in *submission order*; hash-order iteration over the
+  caller's container silently breaks that bit-identity guarantee, so
+  the pass catches the shape statically.
 """
 
 from __future__ import annotations
@@ -291,6 +301,103 @@ def _builder_findings(
 
 
 # ----------------------------------------------------------------------
+# Shard-merge ordering
+# ----------------------------------------------------------------------
+
+#: Name fragments that, combined with ``shard``, mark a merge helper.
+_SHARD_MERGE_HINTS = ("merge", "combine", "collect", "gather")
+
+#: Dict views whose iteration order is the dict's, not the caller's.
+_UNORDERED_VIEWS = frozenset({"values", "items", "keys"})
+
+
+def _is_shard_merge_function(name: str) -> bool:
+    lowered = name.lower()
+    return "shard" in lowered and any(
+        hint in lowered for hint in _SHARD_MERGE_HINTS
+    )
+
+
+def _function_params(
+    func: "ast.FunctionDef | ast.AsyncFunctionDef",
+) -> Set[str]:
+    args = func.args
+    params = {
+        arg.arg for arg in args.posonlyargs + args.args + args.kwonlyargs
+    }
+    if args.vararg is not None:
+        params.add(args.vararg.arg)
+    if args.kwarg is not None:
+        params.add(args.kwarg.arg)
+    params.discard("self")
+    params.discard("cls")
+    return params
+
+
+def _unordered_param_iterable(
+    expr: ast.expr, params: Set[str]
+) -> Optional[str]:
+    """Describe ``expr`` if it is an unordered view over a parameter."""
+    if not isinstance(expr, ast.Call):
+        return None
+    func = expr.func
+    if (
+        isinstance(func, ast.Attribute)
+        and func.attr in _UNORDERED_VIEWS
+        and isinstance(func.value, ast.Name)
+        and func.value.id in params
+        and not expr.args
+        and not expr.keywords
+    ):
+        return f"{func.value.id}.{func.attr}()"
+    if (
+        isinstance(func, ast.Name)
+        and func.id in {"set", "frozenset"}
+        and len(expr.args) == 1
+        and not expr.keywords
+        and isinstance(expr.args[0], ast.Name)
+        and expr.args[0].id in params
+    ):
+        return f"{func.id}({expr.args[0].id})"
+    return None
+
+
+def _iteration_sites(
+    func: "ast.FunctionDef | ast.AsyncFunctionDef",
+) -> Iterator[ast.expr]:
+    for node in ast.walk(func):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            yield node.iter
+        elif isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+        ):
+            for generator in node.generators:
+                yield generator.iter
+
+
+def _shard_merge_findings(info: ModuleInfo) -> Iterator[Finding]:
+    for node in ast.walk(info.module.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if not _is_shard_merge_function(node.name):
+            continue
+        params = _function_params(node)
+        for iterable in _iteration_sites(node):
+            described = _unordered_param_iterable(iterable, params)
+            if described is not None:
+                yield Finding(
+                    info.path,
+                    iterable.lineno,
+                    iterable.col_offset,
+                    "api-contract",
+                    f"shard-merge function {node.name!r} iterates "
+                    f"{described}; shard outcomes must be consumed in "
+                    "submission order, and dict/set iteration order is "
+                    "not the submission order",
+                )
+
+
+# ----------------------------------------------------------------------
 # The pass
 # ----------------------------------------------------------------------
 
@@ -299,7 +406,8 @@ def _builder_findings(
     "api-contract",
     "registered allocator builders must be picklable module-level "
     "callables keeping allocate(self, units, pool, directory); __all__ "
-    "must be consistent and free of dead exports",
+    "must be consistent and free of dead exports; shard-merge helpers "
+    "must not iterate dict views or sets of their inputs",
 )
 def check_api_contract(project: Project) -> List[Finding]:
     findings: List[Finding] = []
@@ -313,6 +421,9 @@ def check_api_contract(project: Project) -> List[Finding]:
             if key not in seen:
                 seen.add(key)
                 findings.append(found)
+
+    for name in sorted(project.modules):
+        findings.extend(_shard_merge_findings(project.modules[name]))
 
     # Name-reference index for the dead-export scan: everything any
     # *other* module (or the usage index) references.

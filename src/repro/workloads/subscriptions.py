@@ -17,7 +17,7 @@ subscriptions.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.pubsub.message import Subscription
 from repro.pubsub.predicate import Operator, Predicate
@@ -48,7 +48,7 @@ def _threshold_pool(
     return [round(low + i * step, 2) for i in range(buckets)]
 
 
-def subscriptions_for_symbol(
+def iter_subscriptions_for_symbol(
     symbol: str,
     count: int,
     rng: SeededRng,
@@ -56,12 +56,16 @@ def subscriptions_for_symbol(
     volume_hint: float = 8000.0,
     threshold_buckets: int = 4,
     subscriber_prefix: Optional[str] = None,
-) -> List[Subscription]:
-    """Generate ``count`` subscriptions for one stock.
+) -> Iterator[Subscription]:
+    """Lazily generate ``count`` subscriptions for one stock.
 
     Each subscription gets its own single-subscription subscriber
     (paper terminology uses subscriber and subscription
     interchangeably; CROC migrates them individually).
+
+    The RNG stream is keyed (``rng.child("subs", symbol)``), so lazy
+    consumption — in any interleaving with other symbols' generators —
+    draws exactly the values the eager list version draws.
     """
     rng = rng.child("subs", symbol)
     prefix = subscriber_prefix or f"sub-{symbol}"
@@ -71,7 +75,6 @@ def subscriptions_for_symbol(
                                    threshold_buckets, rng)
         for attribute in _INEQUALITY_ATTRIBUTES
     }
-    subscriptions: List[Subscription] = []
     for index in range(count):
         sub_id = f"{prefix}-{index}"
         predicates = [
@@ -83,14 +86,34 @@ def subscriptions_for_symbol(
             operator = rng.choice((Operator.LT, Operator.LE, Operator.GT, Operator.GE))
             threshold = rng.choice(pools[attribute])
             predicates.append(Predicate(attribute, operator, threshold))
-        subscriptions.append(
-            Subscription(
-                sub_id=sub_id,
-                subscriber_id=sub_id,
-                predicates=tuple(predicates),
-            )
+        yield Subscription(
+            sub_id=sub_id,
+            subscriber_id=sub_id,
+            predicates=tuple(predicates),
         )
-    return subscriptions
+
+
+def subscriptions_for_symbol(
+    symbol: str,
+    count: int,
+    rng: SeededRng,
+    price_hint: float = 50.0,
+    volume_hint: float = 8000.0,
+    threshold_buckets: int = 4,
+    subscriber_prefix: Optional[str] = None,
+) -> List[Subscription]:
+    """Eager wrapper of :func:`iter_subscriptions_for_symbol`."""
+    return list(
+        iter_subscriptions_for_symbol(
+            symbol,
+            count,
+            rng,
+            price_hint=price_hint,
+            volume_hint=volume_hint,
+            threshold_buckets=threshold_buckets,
+            subscriber_prefix=subscriber_prefix,
+        )
+    )
 
 
 def heterogeneous_counts(publishers: int, ns: int) -> List[int]:

@@ -1,0 +1,25 @@
+"""Fixture: shard-merge helpers that iterate unordered collections."""
+
+from __future__ import annotations
+
+
+def merge_shard_results(outcomes):
+    groups = []
+    for outcome in outcomes.values():
+        groups.append(outcome)
+    return groups
+
+
+def combine_shard_outputs(results, extra=None):
+    return [item for item in set(results)]
+
+
+def merge_rows(rows):
+    # Negative control: same pattern, but not a shard-merge name.
+    return [row for row in rows.values()]
+
+
+def collect_shard_stats(stats):
+    # Negative control: iterates a sorted local, not a raw parameter.
+    ordered = sorted(stats)
+    return [entry for entry in ordered]

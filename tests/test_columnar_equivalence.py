@@ -1,0 +1,217 @@
+"""Bit-identity of the columnar store and sharded Phase 2.
+
+The determinism contracts of this PR's fast paths:
+
+* CRAM with the columnar row store on, off, or on either backend
+  (numpy / pure Python) produces the same allocations, the same float
+  metrics (compared via ``repr``), the same kernel counters, and the
+  same observability records.
+* ``ShardedCramAllocator`` returns the same result whether its shard
+  tasks run serially in-process or on a 4-worker spawn pool, including
+  under an active fault plan.
+* Streaming ingest packs a 1M-subscription workload without ever
+  holding more than ~one chunk of profile objects alive.
+"""
+
+from __future__ import annotations
+
+import weakref
+from itertools import islice
+
+import pytest
+
+from repro.core.columnar import ColumnarStore, numpy_available
+from repro.core.cram import CramAllocator, ShardedCramAllocator
+from repro.core.kernel import BitPlaneLayout, pack_profile_bits
+from repro.core.units import units_from_records
+from repro.experiments import parallel
+from repro.experiments.runner import ExperimentRunner
+from repro.obs import recorder as obs
+from repro.sim.faults import FaultPlan
+from repro.workloads.offline import (
+    iter_offline_records,
+    offline_directory,
+    offline_gather,
+)
+from repro.workloads.scenarios import cluster_homogeneous
+from repro.workloads.streaming import (
+    iter_synthetic_records,
+    stream_into_store,
+    synthetic_directory,
+)
+
+
+@pytest.fixture(scope="module")
+def gathered():
+    scenario = cluster_homogeneous(
+        subscriptions_per_publisher=10, scale=0.1, profile_capacity=96
+    )
+    return offline_gather(scenario, seed=7)
+
+
+def placement(result) -> list:
+    """Broker → member subscription IDs, in bin order."""
+    return [
+        (bin_.spec.broker_id,
+         tuple(r.sub_id for unit in bin_.units for r in unit.members))
+        for bin_ in result.bins
+    ]
+
+
+def comparable(result, stats) -> dict:
+    return {
+        "placement": placement(result),
+        "success": result.success,
+        "broker_count": result.broker_count,
+        "stats": repr(stats),
+    }
+
+
+def run_cram(gathered, **kwargs) -> dict:
+    allocator = CramAllocator(metric="ios", **kwargs)
+    result = allocator.allocate(
+        units_from_records(gathered.records, gathered.directory),
+        gathered.broker_pool,
+        gathered.directory,
+    )
+    return comparable(result, allocator.last_stats)
+
+
+class TestColumnarBitIdentity:
+    def test_columnar_off_matches_on(self, gathered):
+        on = run_cram(gathered, use_columnar=True)
+        off = run_cram(gathered, use_columnar=False)
+        assert on == off
+        # Vacuity guard: the kernel really ran and batched rows.
+        assert "kernel_fused_evaluations=0" not in on["stats"]
+        assert "kernel_used=True" in on["stats"]
+
+    @pytest.mark.skipif(not numpy_available(), reason="needs numpy")
+    def test_python_backend_matches_numpy(self, gathered, monkeypatch):
+        monkeypatch.setenv("REPRO_COLUMNAR_BACKEND", "numpy")
+        numpy = run_cram(gathered, use_columnar=True)
+        monkeypatch.setenv("REPRO_COLUMNAR_BACKEND", "python")
+        python = run_cram(gathered, use_columnar=True)
+        assert numpy == python
+
+    def test_obs_records_identical(self, gathered):
+        snapshots = []
+        for use_columnar in (True, False):
+            with obs.attached(obs.Recorder()) as recorder:
+                run_cram(gathered, use_columnar=use_columnar)
+            snapshots.append(recorder.snapshot(include_wall=False))
+        assert snapshots[0] == snapshots[1]
+
+
+class TestStreamingWorkloads:
+    def test_iter_offline_records_matches_gather(self):
+        scenario = cluster_homogeneous(
+            subscriptions_per_publisher=8, scale=0.1, profile_capacity=64
+        )
+        eager = offline_gather(scenario, seed=3)
+        directory = offline_directory(scenario)
+        assert {
+            adv_id: repr(profile)
+            for adv_id, profile in directory.items()
+        } == {
+            adv_id: repr(profile)
+            for adv_id, profile in eager.directory.items()
+        }
+        lazy = iter_offline_records(scenario, seed=3, directory=directory)
+        for expected, got in zip(eager.records, lazy, strict=True):
+            assert got.sub_id == expected.sub_id
+            assert got.subscriber_id == expected.subscriber_id
+            assert got.profile.signature() == expected.profile.signature()
+
+    def test_million_rows_bounded_liveness(self):
+        count, chunk_size = 1_000_000, 8192
+        directory = synthetic_directory(4, 64)
+        layout = BitPlaneLayout.from_directory(directory, 64)
+        store = ColumnarStore(layout.total_bits)
+
+        state = {"live": 0, "peak": 0}
+
+        def dead() -> None:
+            state["live"] -= 1
+
+        def tracked(records):
+            for record in records:
+                state["live"] += 1
+                state["peak"] = max(state["peak"], state["live"])
+                weakref.finalize(record.profile, dead)
+                yield record
+
+        summary = stream_into_store(
+            tracked(iter_synthetic_records(count, 4, 64)),
+            layout, store, chunk_size=chunk_size,
+        )
+        assert summary.rows == count
+        assert summary.skipped == 0
+        assert len(store) == count
+        # The contract of the tentpole: peak live profiles is bounded
+        # by the chunk size, not the workload size.
+        assert state["peak"] <= 2 * chunk_size
+        # Spot-check packed rows against the standalone packer.
+        for index, record in islice(
+            enumerate(iter_synthetic_records(count, 4, 64)), 0, 5
+        ):
+            assert store.row_bits(index) == pack_profile_bits(
+                record.profile, layout
+            )
+        probe = count - 1
+        last = next(islice(iter_synthetic_records(count, 4, 64), probe, None))
+        assert store.row_bits(probe) == pack_profile_bits(last.profile, layout)
+
+
+def sharded_comparable(gathered, runner) -> dict:
+    allocator = ShardedCramAllocator(metric="ios", shards=4, runner=runner)
+    result = allocator.allocate(
+        units_from_records(gathered.records, gathered.directory),
+        gathered.broker_pool,
+        gathered.directory,
+    )
+    return comparable(result, allocator.last_stats)
+
+
+class TestShardedBitIdentity:
+    def test_pool_jobs4_matches_serial(self, gathered):
+        serial = sharded_comparable(gathered, runner=None)
+        pooled = sharded_comparable(
+            gathered, runner=lambda tasks: parallel.run_shards(tasks, jobs=4)
+        )
+        assert serial == pooled
+        # Vacuity guard: sharding engaged rather than falling back.
+        assert "shard_count=4" in serial["stats"]
+        assert "shard_fallbacks=0" in serial["stats"]
+
+    def test_full_experiment_identical_under_faults(self):
+        plan = FaultPlan(
+            crash_fraction=0.25, crash_start=4.0, downtime=5.0,
+            loss_rate=0.01, jitter=0.001, seed=5,
+        )
+        scenario = cluster_homogeneous(
+            subscriptions_per_publisher=8, scale=0.08,
+            profile_capacity=64, measurement_time=10.0,
+        )
+
+        def run() -> dict:
+            runner = ExperimentRunner(scenario, seed=11, fault_plan=plan)
+            result = runner.run("cram-ios-sharded")
+            row = result.as_row()
+            row.pop("computation_s")
+            return {
+                "row": {key: repr(value) for key, value in row.items()},
+                "summary": repr(result.summary),
+                "cram_stats": repr(result.cram_stats),
+            }
+
+        parallel.set_default_shard_jobs(1)
+        try:
+            serial = run()
+            parallel.set_default_shard_jobs(4)
+            pooled = run()
+        finally:
+            parallel.set_default_shard_jobs(None)
+        assert serial == pooled
+        # The plan actually did something, or this test is vacuous.
+        assert "broker_crashes=0" not in serial["summary"]

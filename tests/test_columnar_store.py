@@ -1,0 +1,338 @@
+"""Unit tests for the columnar store and the sharded Phase-2 plumbing.
+
+Backend selection and env parsing, row lifecycle (free-list reuse,
+bulk append, growth), vectorized sweeps against hand-computed values on
+both backends, layout/packing projections, and the shard planner /
+merge contracts (including the hard error for out-of-order runners).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import columnar
+from repro.core import cram as cram_mod
+from repro.core.closeness import XOR_MAX
+from repro.core.columnar import (
+    ColumnarStore,
+    columnar_enabled,
+    numpy_available,
+    resolve_backend,
+)
+from repro.core.cram import (
+    CramAllocator,
+    ShardedCramAllocator,
+    ShardOutcome,
+    install_shard_runner,
+    merge_shard_outcomes,
+    plan_shards,
+    run_shards_serial,
+)
+from repro.core.closeness import make_metric
+from repro.core.kernel import BitPlaneLayout, ClosenessKernel, pack_profile_bits
+from repro.core.popcount import popcount
+from repro.core.units import AllocationUnit, units_from_records
+from repro.workloads.offline import offline_gather
+from repro.workloads.scenarios import cluster_homogeneous
+
+BACKENDS = ("python", "numpy") if numpy_available() else ("python",)
+
+PATTERNS = [
+    0,
+    1,
+    (1 << 64) - 1,
+    0x0F0F_F0F0_AAAA_5555_1234_5678_9ABC_DEF0,
+    (1 << 127) | 1,
+    (1 << 100) - (1 << 37),
+]
+
+
+def filled(backend: str, total_bits: int = 128) -> ColumnarStore:
+    store = ColumnarStore(total_bits, backend=backend)
+    for bits in PATTERNS:
+        store.add_row(bits & ((1 << total_bits) - 1))
+    return store
+
+
+class TestBackendSelection:
+    def test_auto_prefers_numpy_when_available(self):
+        expected = "numpy" if numpy_available() else "python"
+        assert resolve_backend(None) == expected
+        assert resolve_backend("auto") == expected
+        assert resolve_backend("") == expected
+
+    def test_python_always_available(self):
+        assert resolve_backend("python") == "python"
+        assert resolve_backend(" PYTHON ") == "python"
+
+    def test_forcing_numpy_without_numpy_raises(self, monkeypatch):
+        monkeypatch.setattr(columnar, "_np", None)
+        assert not numpy_available()
+        with pytest.raises(RuntimeError, match="numpy"):
+            resolve_backend("numpy")
+        assert resolve_backend("auto") == "python"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown columnar backend"):
+            resolve_backend("gpu")
+
+    def test_env_backend_consulted(self, monkeypatch):
+        monkeypatch.setenv(columnar.BACKEND_ENV_VAR, "python")
+        assert ColumnarStore(64).backend == "python"
+
+    def test_columnar_enabled_parsing(self, monkeypatch):
+        monkeypatch.delenv(columnar.COLUMNAR_ENV_VAR, raising=False)
+        assert columnar_enabled() is True
+        assert columnar_enabled(False) is False
+        for value in ("0", "off", "FALSE", " no "):
+            monkeypatch.setenv(columnar.COLUMNAR_ENV_VAR, value)
+            assert columnar_enabled() is False
+            assert columnar_enabled(True) is True
+        monkeypatch.setenv(columnar.COLUMNAR_ENV_VAR, "1")
+        assert columnar_enabled() is True
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestRowLifecycle:
+    def test_round_trip_and_cardinality(self, backend):
+        store = filled(backend)
+        for row, bits in enumerate(PATTERNS):
+            assert store.row_bits(row) == bits
+            assert store.cardinality(row) == popcount(bits)
+        assert len(store) == len(PATTERNS)
+        assert store.high_water == len(PATTERNS)
+
+    def test_free_list_is_lifo(self, backend):
+        store = filled(backend)
+        store.free_row(1)
+        store.free_row(3)
+        assert store.row_bits(3) == 0
+        assert len(store) == len(PATTERNS) - 2
+        assert store.add_row(0b101) == 3  # most recently freed first
+        assert store.add_row(0b010) == 1
+        assert store.add_row(0b111) == len(PATTERNS)  # list exhausted
+        assert store.row_bits(3) == 0b101
+
+    def test_add_rows_appends_past_growth(self, backend):
+        store = ColumnarStore(128, backend=backend)
+        patterns = [(index * 0x9E37_79B9 + 1) & ((1 << 128) - 1)
+                    for index in range(200)]
+        rows = store.add_rows(patterns)
+        assert rows == list(range(200))
+        assert store.add_rows([]) == []
+        for row, bits in enumerate(patterns):
+            assert store.row_bits(row) == bits
+            assert store.cardinality(row) == popcount(bits)
+
+    def test_zero_width_store(self, backend):
+        store = ColumnarStore(0, backend=backend)
+        row = store.add_row(0)
+        assert store.row_bits(row) == 0
+        assert store.cardinality(row) == 0
+        store.add_rows([0, 0])
+        assert store.intersections(row, [1, 2]) == [0, 0]
+        assert store.closeness_rows("intersect", row, [1, 2]) == [0.0, 0.0]
+        store.free_row(row)
+        assert len(store) == 2
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestVectorizedSweeps:
+    def test_intersections_and_pair_counts(self, backend):
+        store = filled(backend)
+        candidates = list(range(len(PATTERNS)))
+        mine = PATTERNS[3]
+        inters = store.intersections(3, candidates)
+        assert inters == [popcount(mine & bits) for bits in PATTERNS]
+        inters2, unions = store.pair_counts(3, candidates)
+        assert inters2 == inters
+        assert unions == [popcount(mine | bits) for bits in PATTERNS]
+        assert store.intersections(3, []) == []
+
+    @pytest.mark.parametrize("metric", ("intersect", "xor", "ios", "iou"))
+    def test_closeness_rows_match_formula(self, backend, metric):
+        store = filled(backend)
+        candidates = list(range(len(PATTERNS)))
+        mine = PATTERNS[3]
+        values = store.closeness_rows(metric, 3, candidates)
+        for bits, value in zip(PATTERNS, values):
+            intersect = popcount(mine & bits)
+            union = popcount(mine | bits)
+            if metric == "intersect":
+                expected = float(intersect)
+            elif metric == "xor":
+                xor = union - intersect
+                expected = XOR_MAX if xor == 0 else 1.0 / xor
+            elif intersect == 0:
+                expected = 0.0
+            elif metric == "ios":
+                expected = intersect * intersect / (
+                    popcount(mine) + popcount(bits)
+                )
+            else:
+                expected = intersect * intersect / union
+            assert repr(value) == repr(expected)
+
+    def test_backends_agree_bit_for_bit(self, backend):
+        if backend == "python" and len(BACKENDS) == 2:
+            pytest.skip("covered from the numpy parameterization")
+        if len(BACKENDS) == 1:
+            pytest.skip("single backend available")
+        numpy_store = filled("numpy")
+        python_store = filled("python")
+        candidates = list(range(len(PATTERNS)))
+        for metric in ("intersect", "xor", "ios", "iou"):
+            assert (
+                numpy_store.closeness_rows(metric, 2, candidates)
+                == python_store.closeness_rows(metric, 2, candidates)
+            )
+
+    def test_unknown_metric_rejected(self, backend):
+        store = filled(backend)
+        with pytest.raises(KeyError):
+            store.closeness_rows("cosine", 0, [1])
+        assert store.closeness_rows("ios", 0, []) == []
+
+
+@pytest.fixture(scope="module")
+def gathered():
+    scenario = cluster_homogeneous(
+        subscriptions_per_publisher=8, scale=0.1, profile_capacity=64
+    )
+    return offline_gather(scenario, seed=4)
+
+
+class TestLayoutProjections:
+    def test_from_directory_matches_scanned_layout(self, gathered):
+        profiles = [record.profile for record in gathered.records]
+        scanned = ClosenessKernel(gathered.directory, profiles).layout
+        derived = BitPlaneLayout.from_directory(
+            gathered.directory, profiles[0].capacity
+        )
+        assert derived.total_bits == scanned.total_bits
+        assert set(derived.planes) == set(scanned.planes)
+        for adv_id, plane in derived.planes.items():
+            other = scanned.planes[adv_id]
+            assert (plane.offset, plane.span, plane.window) == (
+                other.offset, other.span, other.window
+            )
+
+    def test_pack_profile_bits_matches_kernel_pack(self, gathered):
+        profiles = [record.profile for record in gathered.records]
+        kernel = ClosenessKernel(gathered.directory, profiles)
+        for profile in profiles:
+            packed = kernel.pack(profile)
+            if packed.pure:
+                assert pack_profile_bits(profile, kernel.layout) == packed.bits
+
+    def test_unpackable_profile_returns_none(self, gathered):
+        profile = gathered.records[0].profile
+        empty_layout = BitPlaneLayout.from_directory({}, 64)
+        assert pack_profile_bits(profile, empty_layout) is None
+
+
+class TestShardPlanning:
+    def test_plan_requires_enough_units_and_groups(self, gathered):
+        units = units_from_records(gathered.records, gathered.directory)
+        assert plan_shards(units, 1) is None
+        assert plan_shards(units[:5], 4) is None
+        # More shards than GIF groups: unplannable.
+        signatures = {unit.profile.signature() for unit in units}
+        assert plan_shards(units, len(signatures) + 1) is None
+
+    def test_plan_keeps_gifs_whole_and_balances(self, gathered):
+        units = units_from_records(gathered.records, gathered.directory)
+        buckets = plan_shards(units, 3)
+        assert buckets is not None
+        assert sorted(
+            unit.unit_id for bucket in buckets for unit in bucket
+        ) == sorted(unit.unit_id for unit in units)
+        for signature in {unit.profile.signature() for unit in units}:
+            owners = {
+                index
+                for index, bucket in enumerate(buckets)
+                if any(u.profile.signature() == signature for u in bucket)
+            }
+            assert len(owners) == 1
+
+    def test_non_singleton_units_fall_back(self, gathered):
+        units = units_from_records(gathered.records, gathered.directory)
+        merged = AllocationUnit.merged(units[:2], gathered.directory)
+        assert plan_shards([merged] + units[2:], 2) is None
+
+    def test_merge_rejects_out_of_order_outcomes(self, gathered):
+        units = units_from_records(gathered.records, gathered.directory)
+        buckets = plan_shards(units, 2)
+        outcomes = [
+            ShardOutcome(index=1, success=True),
+            ShardOutcome(index=0, success=True),
+        ]
+        with pytest.raises(ValueError, match="submission order"):
+            merge_shard_outcomes(outcomes, buckets, gathered.directory)
+
+    def test_merge_returns_none_on_shard_failure(self, gathered):
+        units = units_from_records(gathered.records, gathered.directory)
+        buckets = plan_shards(units, 2)
+        outcomes = [
+            ShardOutcome(index=0, success=True, groups=((0,),)),
+            ShardOutcome(index=1, success=False),
+        ]
+        assert merge_shard_outcomes(outcomes, buckets, gathered.directory) is None
+
+
+def failing_runner(tasks):
+    return [ShardOutcome(index=task.index, success=False) for task in tasks]
+
+
+class TestShardedAllocatorFallbacks:
+    def test_failed_shards_fall_back_to_monolithic(self, gathered):
+        units = units_from_records(gathered.records, gathered.directory)
+        sharded = ShardedCramAllocator(
+            metric="ios", shards=2, runner=failing_runner
+        )
+        result = sharded.allocate(units, gathered.broker_pool, gathered.directory)
+        reference = CramAllocator(metric="ios")
+        expected = reference.allocate(
+            units_from_records(gathered.records, gathered.directory),
+            gathered.broker_pool,
+            gathered.directory,
+        )
+        assert result.success == expected.success
+        assert [
+            tuple(r.sub_id for unit in bin_.units for r in unit.members)
+            for bin_ in result.bins
+        ] == [
+            tuple(r.sub_id for unit in bin_.units for r in unit.members)
+            for bin_ in expected.bins
+        ]
+        assert sharded.last_stats.shard_fallbacks == 1
+        assert sharded.last_stats.shard_count == 0
+
+    def test_unshardable_pool_runs_monolithic(self, gathered):
+        units = units_from_records(gathered.records[:3], gathered.directory)
+        sharded = ShardedCramAllocator(metric="ios", shards=4)
+        result = sharded.allocate(units, gathered.broker_pool, gathered.directory)
+        assert result.success
+        assert sharded.last_stats.shard_count == 0
+        assert sharded.last_stats.shard_fallbacks == 0
+
+    def test_metric_object_normalized(self):
+        sharded = ShardedCramAllocator(metric=make_metric("iou"))
+        assert sharded.metric == "iou"
+        assert sharded.name == "cram-iou-sharded"
+
+    def test_install_shard_runner_restores_serial(self):
+        sentinel_calls = []
+
+        def sentinel(tasks):
+            sentinel_calls.append(len(tasks))
+            return run_shards_serial(tasks)
+
+        previous = cram_mod._shard_runner
+        try:
+            install_shard_runner(sentinel)
+            assert cram_mod._shard_runner is sentinel
+            install_shard_runner(None)
+            assert cram_mod._shard_runner is run_shards_serial
+        finally:
+            install_shard_runner(previous)

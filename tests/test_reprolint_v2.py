@@ -71,6 +71,17 @@ def test_contract_fixture_flags_all_families():
     )
     assert any("not bound at module level" in message for message in messages)
     assert any("dead export" in message for message in messages)
+    assert any(
+        "'merge_shard_results'" in message and "outcomes.values()" in message
+        for message in messages
+    )
+    assert any(
+        "'combine_shard_outputs'" in message and "set(results)" in message
+        for message in messages
+    )
+    # Negative controls: name gate and parameter gate both hold.
+    assert not any("merge_rows" in message for message in messages)
+    assert not any("collect_shard_stats" in message for message in messages)
 
 
 def test_real_tree_is_clean_modulo_baseline():

@@ -37,8 +37,10 @@ class TestPipeline:
         with pytest.raises(ValueError):
             ExperimentRunner(tiny_scenario).run("simulated-annealing")
 
-    def test_approaches_constant_lists_all_ten(self):
-        assert len(APPROACHES) == 10
+    def test_approaches_constant_lists_all_eleven(self):
+        # 4 baselines + 6 registry builtins + sharded CRAM.
+        assert len(APPROACHES) == 11
+        assert "cram-ios-sharded" in APPROACHES
 
     def test_manual_baseline_uses_all_brokers(self, results, tiny_scenario):
         manual = results["manual"]
