@@ -1,0 +1,194 @@
+"""Steady-state: periodic full CROC vs the mixed online schedule.
+
+The paper's control loop re-runs the full three-phase reconfiguration
+every cycle.  This suite puts that baseline and the online mixed
+schedule (estimator-driven subscription migrations between full
+cycles, ``--online``) side by side on the same hostile scenario:
+subscriber churn every cycle plus a fault plan that crashes 10% of the
+brokers mid-profiling.
+
+Asserted floors (recorded under ``floors`` in ``BENCH_online.json``):
+
+* **delivery** — the mixed schedule's mean steady-state delivery rate
+  is at least the periodic-full-CROC baseline's: the online trades must
+  pay for their detach gaps with better load placement, not degrade
+  end-to-end delivery;
+* **disruption** — no cycle migrates more than 20% of the subscription
+  pool, and the summed detach gap stays under 2% of each cycle's
+  measurement window: incremental means incremental;
+* **throughput** — the mixed schedule keeps delivering events every
+  cycle (steady-state events/sec stays positive under churn + crashes).
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_SCALE, BENCH_SEED, record_bench
+from repro.core.config import RunConfig
+from repro.core.online import OnlineSpec
+from repro.experiments.continuous import SubscriberChurn
+from repro.experiments.runner import ExperimentRunner
+from repro.sim.faults import FaultPlan
+from repro.sim.rng import SeededRng
+from repro.workloads.scenarios import cluster_homogeneous
+
+CYCLES = 3
+MEASUREMENT_TIME = 30.0
+
+#: Disruption ceilings the mixed schedule must respect.
+MAX_MOVED_FRACTION = 0.20  # of the subscription pool, per cycle
+MAX_GAP_FRACTION = 0.02    # detach seconds per measurement second
+
+#: Broker output bandwidth (kB/s).  Tight enough that the pool cannot
+#: collapse onto one broker — several brokers stay allocated and churn
+#: pushes them across the hysteresis band, so the online steps have
+#: real imbalances to trade away.
+BROKER_BANDWIDTH_KBPS = 15.0
+
+#: The mixed schedule under test: fij trades, two online steps per
+#: cycle, full CROC skipped while predicted drift stays under 50%.
+ONLINE = OnlineSpec(strategy="fij_trade", steps=2, drift_threshold=0.5,
+                    gap=0.02)
+
+_cache = {}
+
+
+def _run(mode: str):
+    """One continuous run; returns (reports, subscription_count)."""
+    scenario = cluster_homogeneous(
+        subscriptions_per_publisher=12,
+        scale=BENCH_SCALE,
+        broker_bandwidth_kbps=BROKER_BANDWIDTH_KBPS,
+        profile_capacity=96,
+        measurement_time=MEASUREMENT_TIME,
+    )
+    config = RunConfig(online=ONLINE) if mode == "mixed" else None
+    approach = "fij-trade" if mode == "mixed" else "cram-ios"
+    runner = ExperimentRunner(
+        scenario,
+        seed=BENCH_SEED,
+        cram_failure_budget=150,
+        fault_plan=FaultPlan(
+            crash_fraction=0.1,
+            crash_start=10.0,
+            crash_stagger=2.0,
+            seed=BENCH_SEED,
+        ),
+        config=config,
+    )
+    reports = runner.run_continuous(
+        approach,
+        cycles=CYCLES,
+        profiling_time=scenario.derived_profiling_time(),
+        measurement_time=MEASUREMENT_TIME,
+        make_driver=lambda net: SubscriberChurn(net, SeededRng(BENCH_SEED)),
+    )
+    subscriptions = sum(
+        len(subscriber.subscriptions)
+        for subscriber in runner.network.subscribers.values()
+    )
+    return reports, subscriptions
+
+
+def results(mode: str):
+    if mode not in _cache:
+        _cache[mode] = _run(mode)
+    return _cache[mode]
+
+
+def _rows(mode: str):
+    reports, subscriptions = results(mode)
+    rows = []
+    for report in reports:
+        row = report.as_row()
+        row["mode"] = mode
+        row["events_per_s"] = round(
+            report.summary.delivery_count / MEASUREMENT_TIME, 3
+        )
+        row["moved_fraction"] = round(
+            report.subscriptions_moved / max(1, subscriptions), 4
+        )
+        rows.append(row)
+    return rows
+
+
+def _mean_rate(mode: str) -> float:
+    reports, _ = results(mode)
+    return sum(r.summary.delivery_rate for r in reports) / len(reports)
+
+
+def test_mixed_delivery_sustains_full_croc_baseline():
+    full = _mean_rate("full")
+    mixed = _mean_rate("mixed")
+    assert mixed >= full, (
+        f"mixed schedule mean delivery rate {mixed:.4f} fell below the "
+        f"periodic-full-CROC baseline {full:.4f}"
+    )
+
+
+def test_mixed_disruption_stays_incremental():
+    reports, subscriptions = results("mixed")
+    assert subscriptions > 0
+    for report in reports:
+        fraction = report.subscriptions_moved / subscriptions
+        assert fraction <= MAX_MOVED_FRACTION, (
+            f"cycle {report.cycle} migrated {fraction:.1%} of the pool"
+        )
+        assert report.migration_gap_s <= MAX_GAP_FRACTION * MEASUREMENT_TIME, (
+            f"cycle {report.cycle} spent {report.migration_gap_s:.2f}s detached"
+        )
+
+
+def test_mixed_keeps_delivering_under_churn_and_crashes():
+    reports, _ = results("mixed")
+    for report in reports:
+        assert report.summary.delivery_count > 0, (
+            f"cycle {report.cycle} delivered nothing"
+        )
+    assert all(report.online_steps == ONLINE.steps for report in reports)
+    # The scenario is tuned so the online steps actually trade: a run
+    # with zero migrations would make every disruption floor vacuous.
+    assert sum(report.subscriptions_moved for report in reports) > 0
+
+
+def test_record_trajectory():
+    rows = _rows("full") + _rows("mixed")
+    full_rate = _mean_rate("full")
+    mixed_rate = _mean_rate("mixed")
+    mixed_reports, subscriptions = results("mixed")
+    record_bench(
+        "online",
+        rows,
+        title=(
+            "online: steady state under churn + 10% crashes, "
+            "periodic full CROC vs mixed schedule"
+        ),
+        floors={
+            "delivery_rate_vs_full_croc": ">=",
+            "max_moved_fraction_per_cycle": MAX_MOVED_FRACTION,
+            "max_gap_fraction_of_measurement": MAX_GAP_FRACTION,
+        },
+        aggregates={
+            "cycles": CYCLES,
+            "subscription_pool": subscriptions,
+            "full_mean_delivery_rate": round(full_rate, 4),
+            "mixed_mean_delivery_rate": round(mixed_rate, 4),
+            "mixed_mean_events_per_s": round(
+                sum(r.summary.delivery_count for r in mixed_reports)
+                / (CYCLES * MEASUREMENT_TIME),
+                3,
+            ),
+            "mixed_subscriptions_moved": sum(
+                r.subscriptions_moved for r in mixed_reports
+            ),
+            "mixed_full_cycles_skipped": sum(
+                1 for r in mixed_reports if r.skipped_reason
+            ),
+            "online_spec": {
+                "strategy": ONLINE.strategy,
+                "steps": ONLINE.steps,
+                "drift_threshold": ONLINE.drift_threshold,
+                "gap": ONLINE.gap,
+            },
+        },
+    )
+    assert mixed_rate >= full_rate

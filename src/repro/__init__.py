@@ -36,11 +36,19 @@ from repro.core import (
 )
 from repro.core import allocators
 from repro.core.allocators import (
+    AllocatorSpec,
     get_allocator,
     register_allocator,
+    register_spec,
     registered_allocators,
 )
-from repro.experiments.continuous import ContinuousReconfigurator
+from repro.core.config import RunConfig
+from repro.core.online import OnlineSpec
+from repro.experiments.continuous import (
+    ContinuousReconfigurator,
+    CycleReport,
+    OnlineScheduler,
+)
 from repro.experiments.runner import (
     APPROACHES,
     ExperimentResult,
@@ -49,6 +57,7 @@ from repro.experiments.runner import (
 )
 from repro.obs import Recorder, TimelineSampler
 from repro.pubsub.faults import FaultInjector
+from repro.sim.estimator import BrokerLoadEstimator
 from repro.sim.faults import FaultEvent, FaultPlan
 from repro.workloads import scenarios
 
@@ -79,13 +88,21 @@ __all__ = [
     "SubscriptionProfile",
     # Allocator registry
     "allocators",
+    "AllocatorSpec",
     "get_allocator",
     "register_allocator",
+    "register_spec",
     "registered_allocators",
+    # Run configuration and online reallocation
+    "RunConfig",
+    "OnlineSpec",
+    "OnlineScheduler",
+    "BrokerLoadEstimator",
     # Experiment drivers
     "APPROACHES",
     "available_approaches",
     "ContinuousReconfigurator",
+    "CycleReport",
     "ExperimentResult",
     "ExperimentRunner",
     # Fault injection

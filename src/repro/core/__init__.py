@@ -15,11 +15,25 @@ from __future__ import annotations
 
 from repro.core import allocators
 from repro.core.allocators import (
+    KNOWN_CAPABILITIES,
+    AllocatorSpec,
     get_allocator,
+    names_with,
     register_allocator,
+    register_spec,
     registered_allocators,
+    supports,
 )
 from repro.core.bitvector import DEFAULT_CAPACITY, BitVector
+from repro.core.config import RunConfig
+from repro.core.online import (
+    STRATEGIES,
+    Migration,
+    MigrationPlan,
+    OnlineAllocator,
+    OnlineSpec,
+    make_strategy,
+)
 from repro.core.binpacking import BinPackingAllocator
 from repro.core.baselines import automatic_deployment, manual_deployment
 from repro.core.capacity import (
@@ -73,9 +87,21 @@ from repro.core.validation import (
 
 __all__ = [
     "allocators",
+    "AllocatorSpec",
+    "KNOWN_CAPABILITIES",
     "get_allocator",
+    "names_with",
     "register_allocator",
+    "register_spec",
     "registered_allocators",
+    "supports",
+    "RunConfig",
+    "STRATEGIES",
+    "Migration",
+    "MigrationPlan",
+    "OnlineAllocator",
+    "OnlineSpec",
+    "make_strategy",
     "DEFAULT_CAPACITY",
     "BitVector",
     "BinPackingAllocator",

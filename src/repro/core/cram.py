@@ -139,6 +139,7 @@ class CramAllocator:
         max_iterations: Optional[int] = None,
         use_kernel: Optional[bool] = None,
         use_columnar: Optional[bool] = None,
+        columnar_backend: Optional[str] = None,
     ):
         if isinstance(metric, str):
             metric = make_metric(metric)
@@ -153,6 +154,9 @@ class CramAllocator:
         #: kernel (``REPRO_COLUMNAR`` when ``None``).  Like
         #: ``use_kernel`` this is value-exact — speed only.
         self.use_columnar = use_columnar
+        #: Columnar backend request (``REPRO_COLUMNAR_BACKEND`` when
+        #: ``None``); both backends are bit-identical by contract.
+        self.columnar_backend = columnar_backend
         self.name = f"cram-{metric.name}"
         self.last_stats = CramStats()
         self._binpack = BinPackingAllocator()
@@ -181,6 +185,7 @@ class CramAllocator:
                 directory,
                 [unit.profile for unit in units],
                 columnar=self.use_columnar,
+                backend=self.columnar_backend,
             )
             stats.kernel_used = True
         self.metric.attach_kernel(kernel)
@@ -670,6 +675,7 @@ class ShardTask:
     max_iterations: Optional[int] = None
     use_kernel: Optional[bool] = None
     use_columnar: Optional[bool] = None
+    columnar_backend: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -723,6 +729,7 @@ def run_shard_task(task: ShardTask) -> ShardOutcome:
         max_iterations=task.max_iterations,
         use_kernel=task.use_kernel,
         use_columnar=task.use_columnar,
+        columnar_backend=task.columnar_backend,
     )
     units = units_from_records(task.records, task.directory)
     with _recorder_silenced():
@@ -871,6 +878,7 @@ class ShardedCramAllocator:
         max_iterations: Optional[int] = None,
         use_kernel: Optional[bool] = None,
         use_columnar: Optional[bool] = None,
+        columnar_backend: Optional[str] = None,
         runner: Optional[ShardRunner] = None,
     ):
         if isinstance(metric, ClosenessMetric):
@@ -884,6 +892,7 @@ class ShardedCramAllocator:
         self.max_iterations = max_iterations
         self.use_kernel = use_kernel
         self.use_columnar = use_columnar
+        self.columnar_backend = columnar_backend
         self.runner = runner
         self.name = f"cram-{metric}-sharded"
         self.last_stats = CramStats()
@@ -898,6 +907,7 @@ class ShardedCramAllocator:
             max_iterations=self.max_iterations,
             use_kernel=self.use_kernel,
             use_columnar=self.use_columnar,
+            columnar_backend=self.columnar_backend,
         )
 
     def _monolithic(
@@ -942,6 +952,7 @@ class ShardedCramAllocator:
                 max_iterations=self.max_iterations,
                 use_kernel=self.use_kernel,
                 use_columnar=self.use_columnar,
+                columnar_backend=self.columnar_backend,
             )
             for index, bucket in enumerate(buckets)
         ]

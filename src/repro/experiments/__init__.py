@@ -5,6 +5,7 @@ from __future__ import annotations
 from repro.experiments.continuous import (
     ContinuousReconfigurator,
     CycleReport,
+    OnlineScheduler,
     RateDrift,
     SubscriberChurn,
 )
@@ -28,6 +29,7 @@ __all__ = [
     "sweep_specs",
     "ContinuousReconfigurator",
     "CycleReport",
+    "OnlineScheduler",
     "RateDrift",
     "SubscriberChurn",
     "format_rows",

@@ -24,7 +24,10 @@ import json
 import sys
 from typing import List, Optional, Sequence
 
+from repro.core import allocators
+from repro.core.config import RunConfig
 from repro.core.croc import ReconfigurationError
+from repro.core.online import OnlineSpec
 from repro.experiments.parallel import (
     CellSpec,
     execute_cells,
@@ -107,6 +110,13 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                              "and write them to PATH (JSONL, or JSON "
                              "with a .json suffix); outputs stay "
                              "bit-identical to an unobserved run")
+    parser.add_argument("--online", type=OnlineSpec.from_spec, default=None,
+                        metavar="SPEC",
+                        help="online incremental reallocation between "
+                             "full CROC cycles, e.g. 'inc_trade' or "
+                             "'strategy=fij_trade,steps=2,high=0.75,"
+                             "low=0.45,drift=0.2,moves=4' "
+                             "('none' disables)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -147,6 +157,19 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _run_config(args) -> Optional[RunConfig]:
+    """Fold the config-bearing CLI flags into one RunConfig.
+
+    ``None`` when nothing was set, so default invocations keep shipping
+    config-free cell specs (bit-identical to earlier releases).
+    """
+    online = getattr(args, "online", None)
+    shard_jobs = getattr(args, "shard_jobs", None)
+    if online is None and shard_jobs is None:
+        return None
+    return RunConfig(shard_jobs=shard_jobs, online=online)
+
+
 def _write_obs(path: str, labeled_results) -> None:
     """Merge per-cell snapshots (submission order) and write the export."""
     observations = [
@@ -162,9 +185,11 @@ def _write_obs(path: str, labeled_results) -> None:
 def cmd_run(args) -> int:
     approaches = args.approach or ["manual", "cram-ios"]
     scenarios = _build_scenarios(args)
+    config = _run_config(args)
     specs = [
         CellSpec(scenario=scenario, approach=approach, seed=args.seed,
-                 fault_plan=args.faults, observe=bool(args.obs))
+                 fault_plan=args.faults, observe=bool(args.obs),
+                 config=config)
         for scenario in scenarios
         for approach in approaches
     ]
@@ -208,6 +233,7 @@ def cmd_figure(args) -> int:
             fault_plan=args.faults,
             jobs=args.jobs,
             observe=bool(args.obs),
+            config=_run_config(args),
         )
     except ReconfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -243,7 +269,12 @@ def cmd_report(args) -> int:
 def cmd_list(_args) -> int:
     print("approaches:")
     for approach in available_approaches():
-        print(f"  {approach}")
+        caps = ""
+        if allocators.is_registered(approach):
+            declared = sorted(allocators.capabilities(approach))
+            if declared:
+                caps = f"  [{', '.join(declared)}]"
+        print(f"  {approach}{caps}")
     print("figures:")
     for name, metric in sorted(FIGURES.items()):
         print(f"  {name:20s} -> {metric}")

@@ -36,17 +36,19 @@ from multiprocessing import get_context
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 from repro.core import allocators, cram
+# SHARD_JOBS_ENV_VAR moved to repro.core.config (the consolidated
+# RunConfig home) and stays re-exported here for its historical users.
+from repro.core.config import SHARD_JOBS_ENV_VAR as SHARD_JOBS_ENV_VAR
+from repro.core.config import RunConfig, shard_jobs_from_env
 from repro.experiments.runner import ExperimentResult, ExperimentRunner
 from repro.obs import recorder as obs
 from repro.sim.faults import FaultPlan
 from repro.workloads.scenarios import Scenario
 
-#: Registration list shipped to each worker: (name, builder) pairs.
-RegistrySnapshot = Tuple[Tuple[str, allocators.AllocatorBuilder], ...]
-
-#: Worker count for intra-run shard allocation (``ShardedCramAllocator``).
-#: ``<= 1`` keeps shards serial in-process; ``0`` means one per CPU.
-SHARD_JOBS_ENV_VAR = "REPRO_SHARD_JOBS"
+#: Registration list shipped to each worker: the exact
+#: :class:`~repro.core.allocators.AllocatorSpec` records the parent
+#: registered beyond the built-ins (capabilities included).
+RegistrySnapshot = Tuple[allocators.AllocatorSpec, ...]
 
 
 @dataclass(frozen=True)
@@ -66,6 +68,11 @@ class CellSpec:
     #: ship its snapshot back on ``result.obs``.  Does not change the
     #: deterministic outputs (pinned by ``tests/test_obs_equivalence``).
     observe: bool = False
+    #: The performance / online-reallocation knobs for this cell.
+    #: ``RunConfig`` is frozen and picklable, so a spec carries the
+    #: exact configuration into spawned workers instead of relying on
+    #: inherited environment variables.  ``None`` = all defaults.
+    config: Optional[RunConfig] = None
 
     @property
     def label(self) -> str:
@@ -81,13 +88,24 @@ def run_spec(spec: CellSpec) -> ExperimentResult:
         seed=spec.seed,
         cram_failure_budget=spec.cram_failure_budget,
         fault_plan=spec.fault_plan,
+        config=spec.config,
     )
-    if not spec.observe:
-        return runner.run(spec.approach)
-    with obs.attached(obs.Recorder()) as recorder:
-        result = runner.run(spec.approach)
-    result.obs = recorder.snapshot()
-    return result
+    shard_override = spec.config.shard_jobs if spec.config is not None else None
+    previous = _default_shard_jobs
+    if shard_override is not None:
+        # The spec's explicit shard count beats any ambient default or
+        # environment variable for the duration of this cell.
+        set_default_shard_jobs(shard_override)
+    try:
+        if not spec.observe:
+            return runner.run(spec.approach)
+        with obs.attached(obs.Recorder()) as recorder:
+            result = runner.run(spec.approach)
+        result.obs = recorder.snapshot()
+        return result
+    finally:
+        if shard_override is not None:
+            set_default_shard_jobs(previous)
 
 
 def resolve_jobs(jobs: int) -> int:
@@ -116,25 +134,28 @@ def usable_cpus() -> int:
 
 def _ensure_spawnable(snapshot: RegistrySnapshot) -> None:
     """Reject custom allocator builders a spawned worker cannot import."""
-    for name, builder in snapshot:
+    for spec in snapshot:
         try:
-            pickle.dumps(builder)
+            pickle.dumps(spec.builder)
         except Exception as exc:
             raise ValueError(
-                f"allocator {name!r} is registered with a builder that cannot "
-                f"be pickled for pool workers ({exc}); register a module-level "
-                "callable (not a lambda, closure, or locally defined function) "
-                "or run with jobs=1"
+                f"allocator {spec.name!r} is registered with a builder that "
+                f"cannot be pickled for pool workers ({exc}); register a "
+                "module-level callable (not a lambda, closure, or locally "
+                "defined function) or run with jobs=1"
             ) from None
 
 
 def _worker_init(snapshot: RegistrySnapshot) -> None:
     """Per-worker setup: mirror the parent's non-built-in registrations."""
-    for name, builder in snapshot:
+    for spec in snapshot:
+        name, builder = spec.name, spec.builder
         # Replays builders the parent already proved picklable (the
         # snapshot itself crossed the process boundary); audited in
         # reprolint-baseline.json.
-        allocators.register(name, builder, replace=True)
+        allocators.register(
+            name, builder, capabilities=spec.capabilities, replace=True
+        )
 
 
 def _run_serial(
@@ -254,14 +275,7 @@ def shard_jobs() -> int:
     """
     if _default_shard_jobs is not None:
         return resolve_jobs(_default_shard_jobs)
-    raw = os.environ.get(SHARD_JOBS_ENV_VAR, "1").strip()
-    try:
-        value = int(raw)
-    except ValueError:
-        return 1
-    if value < 0:
-        return 1
-    return resolve_jobs(value)
+    return resolve_jobs(shard_jobs_from_env(default=1))
 
 
 def run_shards(

@@ -26,6 +26,7 @@ from repro.core import allocators
 from repro.core.baselines import automatic_deployment, manual_deployment
 from repro.core.binpacking import BinPackingAllocator
 from repro.core.capacity import BrokerSpec
+from repro.core.config import RunConfig
 from repro.core.cram import CramAllocator, CramStats
 from repro.core.croc import Croc, GatherResult
 from repro.core.deployment import Deployment
@@ -33,6 +34,7 @@ from repro.core.grape import GrapeRelocator
 from repro.core.overlay_builder import OverlayBuilder
 from repro.core.pairwise import PairwiseKAllocator, PairwiseNAllocator
 from repro.core.units import units_from_records
+from repro.experiments.continuous import ContinuousReconfigurator, CycleReport
 from repro.obs import collect as obs_collect
 from repro.obs import recorder as obs
 from repro.obs.timeline import TimelineSampler
@@ -139,6 +141,11 @@ class ExperimentRunner:
         network before the workload starts.  ``None`` (and an empty
         plan) leaves every run bit-identical to the fault-free code
         path.
+    config:
+        A :class:`~repro.core.config.RunConfig` with the performance
+        and online-reallocation knobs.  The default (all fields
+        ``None``) defers every toggle to its environment variable, so
+        omitting it is bit-identical to the pre-config behavior.
     """
 
     def __init__(
@@ -148,15 +155,18 @@ class ExperimentRunner:
         cram_failure_budget: Optional[int] = 400,
         grape: Optional[GrapeRelocator] = None,
         fault_plan: Optional[FaultPlan] = None,
+        config: Optional[RunConfig] = None,
     ):
         self.scenario = scenario
         self.seed = seed
         self.cram_failure_budget = cram_failure_budget
         self.grape = grape if grape is not None else GrapeRelocator(objective="load")
         self.fault_plan = fault_plan
+        self.config = config if config is not None else RunConfig()
         self._rng = SeededRng(seed, "experiment", scenario.name)
         self.network: Optional[PubSubNetwork] = None
         self.last_gather: Optional[GatherResult] = None
+        self.last_continuous: Optional[ContinuousReconfigurator] = None
 
     # ------------------------------------------------------------------
     # Scenario deployment
@@ -239,6 +249,7 @@ class ExperimentRunner:
             approach,
             rng=self._rng.child(approach),
             failure_budget=self.cram_failure_budget,
+            **self.config.allocator_knobs(),
         )
 
     def croc_for(self, approach: str, overlay_builder: Optional[OverlayBuilder] = None) -> Croc:
@@ -338,6 +349,59 @@ class ExperimentRunner:
         network.metrics.reset_window()
         network.run(self.scenario.measurement_time)
         return network.metrics.summary(len(pool), network.active_brokers, bandwidths)
+
+    # ------------------------------------------------------------------
+    # Continuous operation (periodic / mixed schedule)
+    # ------------------------------------------------------------------
+    def run_continuous(
+        self,
+        approach: str,
+        cycles: int,
+        profiling_time: float = 60.0,
+        measurement_time: float = 30.0,
+        make_driver=None,
+    ) -> List[CycleReport]:
+        """Run the continuous control loop for a registry allocator.
+
+        Deploys the MANUAL baseline, then executes ``cycles`` cycles of
+        :class:`~repro.experiments.continuous.ContinuousReconfigurator`.
+        When ``self.config.online`` is set the loop runs the mixed
+        schedule; approaches declaring the ``incremental`` capability
+        supply their own migration planner (the allocator instance),
+        others fall back to the core strategy named in the spec.
+
+        ``make_driver`` (optional) receives the freshly built network
+        and returns the per-cycle drift hook — e.g.
+        ``lambda net: SubscriberChurn(net, rng)``.
+        """
+        if not allocators.is_registered(approach):
+            raise ValueError(
+                f"continuous operation needs a registry allocator; "
+                f"{approach!r} is not one of {allocators.registered_names()}"
+            )
+        network = self._build_network()
+        self.network = network
+        recorder = obs.active()
+        if recorder is not None:
+            recorder.use_clock(lambda: network.sim.now)
+            network.obs_sampler = TimelineSampler(network, recorder)
+        self._deploy_manual(network)
+        online = self.config.online
+        planner = None
+        if online is not None and allocators.supports(approach, "incremental"):
+            planner = self._allocator_factory(approach)()
+        loop = ContinuousReconfigurator(
+            self.croc_for(approach),
+            profiling_time=profiling_time,
+            measurement_time=measurement_time,
+            on_cycle_start=make_driver(network) if make_driver else None,
+            online=online,
+            planner=planner,
+        )
+        self.last_continuous = loop
+        reports = loop.run(network, cycles)
+        obs_collect.add_network(network)
+        return reports
 
     # ------------------------------------------------------------------
     # PAIRWISE derivatives

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, cast
 
+from repro.core.config import RunConfig
 from repro.experiments.parallel import CellSpec, execute_cells, run_spec
 from repro.experiments.runner import ExperimentResult
 from repro.sim.faults import FaultPlan
@@ -28,11 +29,13 @@ def run_cell(
     seed: int = 2011,
     cram_failure_budget: Optional[int] = 150,
     fault_plan: Optional[FaultPlan] = None,
+    config: Optional[RunConfig] = None,
 ) -> ExperimentResult:
     """One (scenario, approach) measurement."""
     return run_spec(CellSpec(
         scenario=scenario, approach=approach, seed=seed,
         cram_failure_budget=cram_failure_budget, fault_plan=fault_plan,
+        config=config,
     ))
 
 
@@ -42,11 +45,12 @@ def sweep_specs(
     seed: int = 2011,
     fault_plan: Optional[FaultPlan] = None,
     observe: bool = False,
+    config: Optional[RunConfig] = None,
 ) -> List[CellSpec]:
     """The matrix's cells, in the canonical scenario-major order."""
     return [
         CellSpec(scenario=scenario, approach=approach, seed=seed,
-                 fault_plan=fault_plan, observe=observe)
+                 fault_plan=fault_plan, observe=observe, config=config)
         for scenario in scenarios
         for approach in approaches
     ]
@@ -60,6 +64,7 @@ def sweep(
     fault_plan: Optional[FaultPlan] = None,
     jobs: int = 1,
     observe: bool = False,
+    config: Optional[RunConfig] = None,
 ) -> Dict[Tuple[str, str], ExperimentResult]:
     """Run the full (scenario × approach) matrix.
 
@@ -67,10 +72,12 @@ def sweep(
     (``0`` = one worker per usable CPU); results are merged in the
     serial order and are bit-identical to ``jobs=1`` — see
     :mod:`repro.experiments.parallel` for the determinism contract.
-    ``observe`` attaches a per-cell recorder (``result.obs``).
+    ``observe`` attaches a per-cell recorder (``result.obs``);
+    ``config`` threads one :class:`~repro.core.config.RunConfig` into
+    every cell.
     """
     specs = sweep_specs(scenarios, approaches, seed=seed, fault_plan=fault_plan,
-                        observe=observe)
+                        observe=observe, config=config)
     cells = execute_cells(specs, jobs=jobs, progress=progress)
     return {
         (spec.scenario.name, spec.approach): cast(ExperimentResult, result)

@@ -52,6 +52,8 @@ def network_counters(network) -> Dict[str, float]:
         "metrics.gather_retries": metrics.gather_retries,
         "metrics.degraded_plans": metrics.degraded_plans,
         "metrics.rollbacks": metrics.rollbacks,
+        "metrics.subscriptions_migrated": metrics.subscriptions_migrated,
+        "metrics.migration_gap_s": metrics.migration_gap_s,
     })
     return counters
 

@@ -68,6 +68,11 @@ class MetricsSummary:
     gather_retries: int = 0
     degraded_plans: int = 0
     rollbacks: int = 0
+    #: Online-reallocation disruption (cumulative, like the other
+    #: control-plane counters): subscriptions moved between brokers and
+    #: the summed virtual seconds their owners spent detached.
+    subscriptions_migrated: int = 0
+    migration_gap_s: float = 0.0
 
     @property
     def delivery_rate(self) -> float:
@@ -111,6 +116,14 @@ class MetricsSummary:
             "rollbacks": self.rollbacks,
         }
 
+    def migration_row(self) -> Dict[str, float]:
+        """The online-reallocation disruption counters as a flat dict."""
+        return {
+            "subscriptions_migrated": self.subscriptions_migrated,
+            "migration_gap_s": round(self.migration_gap_s, 4),
+            "delivery_rate": round(self.delivery_rate, 4),
+        }
+
 
 class MetricsCollector:
     """Counters shared by every broker in one network."""
@@ -133,6 +146,8 @@ class MetricsCollector:
         self._gather_retries = 0
         self._degraded_plans = 0
         self._rollbacks = 0
+        self._subscriptions_migrated = 0
+        self._migration_gap_s = 0.0
 
     # ------------------------------------------------------------------
     # Event hooks (called by brokers)
@@ -194,6 +209,17 @@ class MetricsCollector:
         """A reconfiguration was aborted or rolled back mid-apply."""
         self._rollbacks += 1
 
+    def on_migration(self, subscriptions: int, gap_seconds: float) -> None:
+        """An online step migrated ``subscriptions`` between brokers.
+
+        ``gap_seconds`` is the summed virtual time the affected
+        subscribers spent detached (their delivery gap).  Cumulative,
+        like the other control-plane lifecycle counters — migrations
+        happen between measurement windows.
+        """
+        self._subscriptions_migrated += subscriptions
+        self._migration_gap_s += gap_seconds
+
     # ------------------------------------------------------------------
     # Read-only views (observability; see :mod:`repro.obs.collect`)
     # ------------------------------------------------------------------
@@ -206,6 +232,16 @@ class MetricsCollector:
         """
         counters = self._counters.get(broker_id)
         return counters.messages_total if counters is not None else 0
+
+    def bytes_out_total(self, broker_id: str) -> float:
+        """Output kB for ``broker_id`` this window (0.0 if unseen).
+
+        Same never-creates-an-entry contract as :meth:`messages_total`,
+        so the online scheduler's load sampling cannot perturb the
+        per-broker table the summary is built from.
+        """
+        counters = self._counters.get(broker_id)
+        return counters.bytes_out_kb if counters is not None else 0.0
 
     @property
     def delivery_count(self) -> int:
@@ -238,6 +274,14 @@ class MetricsCollector:
     @property
     def rollbacks(self) -> int:
         return self._rollbacks
+
+    @property
+    def subscriptions_migrated(self) -> int:
+        return self._subscriptions_migrated
+
+    @property
+    def migration_gap_s(self) -> float:
+        return self._migration_gap_s
 
     # ------------------------------------------------------------------
     # Windows
@@ -316,4 +360,6 @@ class MetricsCollector:
             gather_retries=self._gather_retries,
             degraded_plans=self._degraded_plans,
             rollbacks=self._rollbacks,
+            subscriptions_migrated=self._subscriptions_migrated,
+            migration_gap_s=self._migration_gap_s,
         )

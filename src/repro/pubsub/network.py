@@ -161,6 +161,15 @@ class PubSubNetwork:
         self.brokers[broker_id].attach_client(subscriber.client_id)
         subscriber.attached(self, broker_id)
 
+    def subscriber_for(self, sub_id: str) -> Optional[str]:
+        """Client id owning ``sub_id`` (``None`` for unknown ids).
+
+        Public read-only view of the subscription→subscriber map, used
+        by deployment execution internally and by the online scheduler
+        to turn planned subscription moves into client migrations.
+        """
+        return self._subscriber_of_sub.get(sub_id)
+
     def detach_all_clients(self) -> None:
         for publisher in self.publishers.values():
             if publisher.broker_id is not None:

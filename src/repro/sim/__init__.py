@@ -11,12 +11,15 @@ exactly reproducible.
 from __future__ import annotations
 
 from repro.sim.engine import Event, Simulator
+from repro.sim.estimator import BrokerLoadEstimator, LoadSample
 from repro.sim.faults import FaultEvent, FaultPlan
 from repro.sim.rng import SeededRng, derive_seed
 
 __all__ = [
     "Event",
     "Simulator",
+    "BrokerLoadEstimator",
+    "LoadSample",
     "FaultEvent",
     "FaultPlan",
     "SeededRng",

@@ -14,6 +14,14 @@ Four families of checks, all whole-program:
   must keep the interchangeable-scheme signature
   ``allocate(self, units, pool, directory)``.
 
+* **AllocatorSpec shapes** — ``AllocatorSpec(...)`` records built
+  outside the registry module get the same builder resolution check as
+  ``register`` calls, and any *literal* capability collection (on a
+  spec or a ``register(..., capabilities=...)`` call) may only use the
+  known capability vocabulary.  A typo'd capability never errors at
+  runtime — ``supports``/``names_with`` gates just silently never
+  select the allocator — so the pass catches it statically.
+
 * **``__all__`` consistency** — every name a module exports must be
   bound at module level (a typo in ``__all__`` breaks
   ``from m import *`` and silently lies to readers).
@@ -51,6 +59,15 @@ _REGISTER_NAMES = {"register", "register_allocator"}
 
 #: The interchangeable-scheme entry-point signature.
 ALLOCATE_PARAMS = ("self", "units", "pool", "directory")
+
+#: The registry's record class, checked wherever it is constructed.
+_SPEC_CLASS_NAME = "AllocatorSpec"
+
+#: Mirror of ``repro.core.allocators.KNOWN_CAPABILITIES``.  The tools
+#: layer is an import leaf (it may not import repro.core), so the
+#: vocabulary is duplicated here; ``tests/test_reprolint.py`` pins the
+#: two sets equal so they cannot drift apart.
+KNOWN_CAPABILITIES = frozenset({"incremental", "sharded", "kernel_aware"})
 
 
 # ----------------------------------------------------------------------
@@ -301,6 +318,107 @@ def _builder_findings(
 
 
 # ----------------------------------------------------------------------
+# AllocatorSpec shapes
+# ----------------------------------------------------------------------
+
+
+def _dotted_suffix(func: ast.Attribute) -> Optional[str]:
+    """``a.b.c`` rendered as a dotted string, when statically plain."""
+    parts: List[str] = [func.attr]
+    base = func.value
+    while isinstance(base, ast.Attribute):
+        parts.append(base.attr)
+        base = base.value
+    if isinstance(base, ast.Name):
+        parts.append(base.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _is_spec_call(project: Project, info: ModuleInfo, node: ast.Call) -> bool:
+    func = node.func
+    if isinstance(func, ast.Name):
+        if func.id != _SPEC_CLASS_NAME:
+            return False
+        resolved = project.resolve_name(info.name, func.id)
+        # Unresolved names keep the distinctive class name's intent.
+        return resolved is None or resolved[0] == REGISTRY_MODULE
+    if isinstance(func, ast.Attribute) and func.attr == _SPEC_CLASS_NAME:
+        dotted = _dotted_suffix(func)
+        if dotted is None:
+            return False
+        prefix = dotted[: -len(_SPEC_CLASS_NAME) - 1]
+        return prefix.endswith("allocators") or prefix == REGISTRY_MODULE
+    return False
+
+
+def _iter_spec_calls(project: Project) -> Iterator[Tuple[ModuleInfo, ast.Call]]:
+    for name in sorted(project.modules):
+        if name == REGISTRY_MODULE:
+            # The shim inside the registry builds specs from its own
+            # parameters; its call sites are checked where they occur.
+            continue
+        info = project.modules[name]
+        for node in ast.walk(info.module.tree):
+            if isinstance(node, ast.Call) and _is_spec_call(project, info, node):
+                yield info, node
+
+
+def _call_argument(
+    node: ast.Call, position: Optional[int], keyword: str
+) -> Optional[ast.AST]:
+    """Positional-or-keyword lookup (``position=None`` = keyword-only)."""
+    if position is not None and len(node.args) > position:
+        return node.args[position]
+    for item in node.keywords:
+        if item.arg == keyword:
+            return item.value
+    return None
+
+
+def _capability_literals(node: ast.AST) -> Optional[List[str]]:
+    """The literal capability strings, or ``None`` when not static."""
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in {"frozenset", "set", "tuple", "list"}
+        and len(node.args) == 1
+        and not node.keywords
+    ):
+        return _capability_literals(node.args[0])
+    if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        values: List[str] = []
+        for elt in node.elts:
+            if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                values.append(elt.value)
+            else:
+                return None
+        return values
+    return None
+
+
+def _capability_findings(
+    info: ModuleInfo, call: ast.Call, capabilities: Optional[ast.AST]
+) -> Iterator[Finding]:
+    if capabilities is None:
+        return
+    literals = _capability_literals(capabilities)
+    if literals is None:
+        return
+    for capability in literals:
+        if capability not in KNOWN_CAPABILITIES:
+            yield Finding(
+                info.path,
+                call.lineno,
+                call.col_offset,
+                "api-contract",
+                f"allocator capability {capability!r} is not in the known "
+                f"vocabulary {sorted(KNOWN_CAPABILITIES)}; capability gates "
+                "(supports / names_with) would silently never select it",
+            )
+
+
+# ----------------------------------------------------------------------
 # Shard-merge ordering
 # ----------------------------------------------------------------------
 
@@ -415,12 +533,30 @@ def check_api_contract(project: Project) -> List[Finding]:
     # A class reached from several register calls would repeat its
     # signature finding; dedupe on the full finding identity.
     seen: Set[Tuple[str, int, int, str]] = set()
+
+    def emit(found: Finding) -> None:
+        key = (found.path, found.line, found.col, found.message)
+        if key not in seen:
+            seen.add(key)
+            findings.append(found)
+
     for info, call, builder in _iter_register_calls(project):
         for found in _builder_findings(project, info, call, builder):
-            key = (found.path, found.line, found.col, found.message)
-            if key not in seen:
-                seen.add(key)
-                findings.append(found)
+            emit(found)
+        for found in _capability_findings(
+            info, call, _call_argument(call, None, "capabilities")
+        ):
+            emit(found)
+
+    for info, call in _iter_spec_calls(project):
+        builder = _call_argument(call, 1, "builder")
+        if builder is not None:
+            for found in _builder_findings(project, info, call, builder):
+                emit(found)
+        for found in _capability_findings(
+            info, call, _call_argument(call, 2, "capabilities")
+        ):
+            emit(found)
 
     for name in sorted(project.modules):
         findings.extend(_shard_merge_findings(project.modules[name]))

@@ -16,5 +16,12 @@ def make_wrong(**_):
 
 allocators.register("lambda-builder", lambda **_: WrongAllocator)
 allocators.register("wrong-signature", make_wrong)
+allocators.register_spec(
+    allocators.AllocatorSpec(
+        "typo-capability",
+        make_wrong,
+        capabilities=("incremental", "telepathic"),
+    )
+)
 
 __all__ = ["WrongAllocator", "ghost_export"]

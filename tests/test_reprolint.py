@@ -406,3 +406,13 @@ def test_src_tree_lints_clean():
     findings, checked = lint_paths([REPO_ROOT / "src"])
     assert checked > 50
     assert findings == [], "\n".join(str(finding) for finding in findings)
+
+
+def test_capability_vocabulary_mirrors_registry():
+    # repro.tools is an import leaf (the layering gate bars it from
+    # repro.core), so contracts.py carries its own copy of the
+    # capability vocabulary.  This pin keeps the two sets identical.
+    from repro.core.allocators import KNOWN_CAPABILITIES as registry_vocab
+    from repro.tools.contracts import KNOWN_CAPABILITIES as lint_vocab
+
+    assert lint_vocab == registry_vocab

@@ -71,6 +71,11 @@ def test_contract_fixture_flags_all_families():
     )
     assert any("not bound at module level" in message for message in messages)
     assert any("dead export" in message for message in messages)
+    # AllocatorSpec shapes: literal capability sets use the vocabulary.
+    assert any("capability 'telepathic'" in message for message in messages)
+    assert not any(
+        "capability 'incremental'" in message for message in messages
+    )
     assert any(
         "'merge_shard_results'" in message and "outcomes.values()" in message
         for message in messages

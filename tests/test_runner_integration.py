@@ -37,10 +37,12 @@ class TestPipeline:
         with pytest.raises(ValueError):
             ExperimentRunner(tiny_scenario).run("simulated-annealing")
 
-    def test_approaches_constant_lists_all_eleven(self):
-        # 4 baselines + 6 registry builtins + sharded CRAM.
-        assert len(APPROACHES) == 11
+    def test_approaches_constant_lists_all_thirteen(self):
+        # 4 baselines + 6 registry builtins + sharded CRAM + 2 online.
+        assert len(APPROACHES) == 13
         assert "cram-ios-sharded" in APPROACHES
+        assert "inc-trade" in APPROACHES
+        assert "fij-trade" in APPROACHES
 
     def test_manual_baseline_uses_all_brokers(self, results, tiny_scenario):
         manual = results["manual"]
