@@ -37,12 +37,16 @@ if TYPE_CHECKING:  # pragma: no cover - type-only (avoids import at load)
 class PosetNode:
     """One GIF inside the poset."""
 
-    __slots__ = ("gif", "parents", "children")
+    __slots__ = ("gif", "parents", "children", "_ordered")
 
     def __init__(self, gif: Optional[Gif]):
         self.gif = gif  # None for the virtual root
         self.parents: Set["PosetNode"] = set()
         self.children: Set["PosetNode"] = set()
+        #: Sorted-children cache; None when ``children`` changed since
+        #: the last sort.  All edge mutations go through Poset methods,
+        #: which invalidate it.
+        self._ordered: Optional[List["PosetNode"]] = None
 
     @property
     def is_root(self) -> bool:
@@ -63,8 +67,18 @@ class PosetNode:
 
 
 def _ordered_children(node: PosetNode) -> List[PosetNode]:
-    """A node's children in ascending ``gif_id`` order (deterministic)."""
-    return sorted(node.children, key=lambda child: child.gif.gif_id)
+    """A node's children in ascending ``gif_id`` order (deterministic).
+
+    Cached on the node: partner searches re-walk the same frontier on
+    every CRAM round, while edges only change at the few nodes an
+    insert or remove touches.
+    """
+    ordered = node._ordered
+    if ordered is None:
+        ordered = node._ordered = sorted(
+            node.children, key=lambda child: child.gif.gif_id
+        )
+    return ordered
 
 
 class Poset:
@@ -79,6 +93,12 @@ class Poset:
         self.root = PosetNode(None)
         self._nodes: Dict[int, PosetNode] = {}
         self._kernel = kernel
+        #: (coverer gif_id, covered gif_id) -> verdict.  Sound for the
+        #: poset's lifetime: a GIF's profile is fixed at construction
+        #: and gif_ids are never reused, so a verdict cannot go stale.
+        #: This is what makes re-inserting after a CRAM merge cheap —
+        #: only pairs involving the brand-new merged GIF miss.
+        self._cover_memo: Dict[Tuple[int, int], bool] = {}
 
     def _covers(self, node: PosetNode, other: PosetNode) -> bool:
         """Kernel-accelerated :meth:`PosetNode.covers` (same verdicts)."""
@@ -86,11 +106,17 @@ class Poset:
             return True
         if other.is_root:
             return False
-        if self._kernel is not None:
-            verdict = self._kernel.covers(node.gif.profile, other.gif.profile)
-            if verdict is not None:
-                return verdict
-        return node.gif.profile.covers(other.gif.profile)
+        key = (node.gif.gif_id, other.gif.gif_id)
+        verdict = self._cover_memo.get(key)
+        if verdict is None:
+            if self._kernel is not None:
+                verdict = self._kernel.covers(node.gif.profile, other.gif.profile)
+            else:
+                verdict = None
+            if verdict is None:
+                verdict = node.gif.profile.covers(other.gif.profile)
+            self._cover_memo[key] = verdict
+        return verdict
 
     def __len__(self) -> int:
         return len(self._nodes)
@@ -123,6 +149,7 @@ class Poset:
         children = self._find_children(node, parents)
         for parent in parents:
             parent.children.add(node)
+            parent._ordered = None
             node.parents.add(parent)
         for child in children:
             # The new node slots between its parents and these children:
@@ -130,9 +157,11 @@ class Poset:
             for parent in parents:
                 if child in parent.children:
                     parent.children.discard(child)
+                    parent._ordered = None
                     child.parents.discard(parent)
             node.children.add(child)
             child.parents.add(node)
+        node._ordered = None
         self._nodes[gif.gif_id] = node
         return node
 
@@ -196,6 +225,7 @@ class Poset:
         node = self._nodes.pop(gif.gif_id)
         for parent in node.parents:
             parent.children.discard(node)
+            parent._ordered = None
         for child in node.children:
             child.parents.discard(node)
         for child in node.children:
@@ -204,6 +234,7 @@ class Poset:
             if not child.parents:
                 for parent in node.parents:
                     parent.children.add(child)
+                    parent._ordered = None
                     child.parents.add(parent)
 
     # ------------------------------------------------------------------
@@ -288,30 +319,53 @@ class Poset:
         first decides the ``parent_value`` its pruning test uses, so an
         id-hash-ordered traversal would make the evaluation count (and
         the symmetric partner-cache updates) depend on heap layout.
+
+        The walk is level-batched: BFS processes the frontier one full
+        wave at a time, and which nodes form wave ``k+1`` depends only
+        on wave ``k``'s prune verdicts, so evaluating a whole wave as
+        one ``closeness_row`` call (one vectorized row per visited
+        level) preserves the exact per-pair values, evaluation count,
+        and ``consider`` order of the node-at-a-time loop.
         """
         seen: Set[int] = set()
-        queue: deque = deque()
+        wave: List[Tuple[PosetNode, Optional[float]]] = []
         for child in _ordered_children(self.root):
             if id(child) not in seen:
                 seen.add(id(child))
-                queue.append((child, None))  # None: no parent value yet
-        while queue:
-            node, parent_value = queue.popleft()
-            if node.gif.gif_id == gif.gif_id:
-                value = None  # do not pair with self here (CRAM handles
-                # self-pairing separately); still descend through it.
+                wave.append((child, None))  # None: no parent value yet
+        gif_id = gif.gif_id
+        while wave:
+            profiles = [
+                node.gif.profile for node, _ in wave if node.gif.gif_id != gif_id
+            ]
+            if len(profiles) == 1:
+                # A row of one gains nothing over a direct call.
+                row = None
             else:
-                value = metric(gif.profile, node.gif.profile)
-                consider(node.gif, value)
-                if approx_zero(value):
-                    continue  # empty relation: whole subtree is empty too
-                if parent_value is not None and value < parent_value:
-                    continue  # closeness started to decrease: prune
-            next_value = parent_value if value is None else value
-            for child in _ordered_children(node):
-                if id(child) not in seen:
-                    seen.add(id(child))
-                    queue.append((child, next_value))
+                row = metric.closeness_row(gif.profile, profiles)
+            position = 0
+            next_wave: List[Tuple[PosetNode, Optional[float]]] = []
+            for node, parent_value in wave:
+                if node.gif.gif_id == gif_id:
+                    value = None  # do not pair with self here (CRAM handles
+                    # self-pairing separately); still descend through it.
+                else:
+                    if row is None:
+                        value = metric(gif.profile, node.gif.profile)
+                    else:
+                        value = row[position]
+                        position += 1
+                    consider(node.gif, value)
+                    if approx_zero(value):
+                        continue  # empty relation: whole subtree is empty too
+                    if parent_value is not None and value < parent_value:
+                        continue  # closeness started to decrease: prune
+                next_value = parent_value if value is None else value
+                for child in _ordered_children(node):
+                    if id(child) not in seen:
+                        seen.add(id(child))
+                        next_wave.append((child, next_value))
+            wave = next_wave
 
     # ------------------------------------------------------------------
     # Diagnostics

@@ -105,6 +105,10 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                              "shards (cram-ios-sharded; default: "
                              "REPRO_SHARD_JOBS or serial; 0 = one per "
                              "CPU); results are bit-identical to serial")
+    parser.add_argument("--profile", metavar="DIR", default=None,
+                        help="profile each cell with cProfile and write "
+                             "DIR/<scenario>__<approach>.pstats (forces "
+                             "serial execution; results stay bit-identical)")
     parser.add_argument("--obs", metavar="PATH", default=None,
                         help="record phase spans / counters / timelines "
                              "and write them to PATH (JSONL, or JSON "
@@ -197,6 +201,7 @@ def cmd_run(args) -> int:
         specs, jobs=args.jobs,
         progress=lambda label: print(f"running {label} ...", file=sys.stderr),
         return_exceptions=True,
+        profile_dir=args.profile,
     )
     rows = []
     failures = []
@@ -234,6 +239,7 @@ def cmd_figure(args) -> int:
             jobs=args.jobs,
             observe=bool(args.obs),
             config=_run_config(args),
+            profile_dir=args.profile,
         )
     except ReconfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -28,8 +28,10 @@ merges the results in submission order, with three guarantees:
 
 from __future__ import annotations
 
+import cProfile
 import os
 import pickle
+import re
 from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
 from dataclasses import dataclass
 from multiprocessing import get_context
@@ -158,10 +160,37 @@ def _worker_init(snapshot: RegistrySnapshot) -> None:
         )
 
 
+def _profile_path(profile_dir: str, spec: CellSpec) -> str:
+    """``DIR/<scenario>__<approach>.pstats``, filesystem-sanitized."""
+    stem = re.sub(
+        r"[^A-Za-z0-9._-]+", "-", f"{spec.scenario.name}__{spec.approach}"
+    )
+    return os.path.join(profile_dir, f"{stem}.pstats")
+
+
+def _run_one(spec: CellSpec, profile_dir: Optional[str]) -> ExperimentResult:
+    """One cell, optionally under cProfile.
+
+    The profile wraps the whole of :func:`run_spec` — network build,
+    allocation, measurement — and is dumped even when the cell raises,
+    so a crashing configuration still leaves its hot-path evidence.
+    Profiling measures wall time but never feeds results, so profiled
+    runs stay bit-identical to bare ones.
+    """
+    if profile_dir is None:
+        return run_spec(spec)
+    profile = cProfile.Profile()
+    try:
+        return profile.runcall(run_spec, spec)
+    finally:
+        profile.dump_stats(_profile_path(profile_dir, spec))
+
+
 def _run_serial(
     specs: Sequence[CellSpec],
     progress: Optional[Callable[[str], None]],
     return_exceptions: bool,
+    profile_dir: Optional[str] = None,
 ) -> List[Union[ExperimentResult, BaseException]]:
     results: List[Union[ExperimentResult, BaseException]] = []
     for spec in specs:
@@ -169,11 +198,11 @@ def _run_serial(
             progress(spec.label)
         if return_exceptions:
             try:
-                results.append(run_spec(spec))
+                results.append(_run_one(spec, profile_dir))
             except Exception as exc:
                 results.append(exc)
         else:
-            results.append(run_spec(spec))
+            results.append(_run_one(spec, profile_dir))
     return results
 
 
@@ -182,6 +211,7 @@ def execute_cells(
     jobs: int = 1,
     progress: Optional[Callable[[str], None]] = None,
     return_exceptions: bool = False,
+    profile_dir: Optional[str] = None,
 ) -> List[Union[ExperimentResult, BaseException]]:
     """Run every cell and return results in submission order.
 
@@ -201,8 +231,19 @@ def execute_cells(
         place of a result instead of aborting the whole sweep (the
         CLI's keep-going semantics).  Otherwise the first failure
         propagates.
+    profile_dir:
+        Dump one cProfile ``.pstats`` file per cell into this
+        directory (``<scenario>__<approach>.pstats``).  Forces serial
+        execution — a meaningful profile needs the cell alone on the
+        interpreter, and worker processes could not ship profiler
+        state back.  Results stay bit-identical.
     """
     jobs = resolve_jobs(jobs)
+    if profile_dir is not None:
+        os.makedirs(profile_dir, exist_ok=True)
+        if jobs > 1 and progress is not None:
+            progress(f"[profile] profiling forces serial execution (jobs={jobs} ignored)")
+        return _run_serial(specs, progress, return_exceptions, profile_dir)
     if jobs <= 1 or len(specs) <= 1:
         return _run_serial(specs, progress, return_exceptions)
 

@@ -65,6 +65,7 @@ def sweep(
     jobs: int = 1,
     observe: bool = False,
     config: Optional[RunConfig] = None,
+    profile_dir: Optional[str] = None,
 ) -> Dict[Tuple[str, str], ExperimentResult]:
     """Run the full (scenario × approach) matrix.
 
@@ -74,11 +75,13 @@ def sweep(
     :mod:`repro.experiments.parallel` for the determinism contract.
     ``observe`` attaches a per-cell recorder (``result.obs``);
     ``config`` threads one :class:`~repro.core.config.RunConfig` into
-    every cell.
+    every cell; ``profile_dir`` dumps a cProfile ``.pstats`` per cell
+    (forces serial execution).
     """
     specs = sweep_specs(scenarios, approaches, seed=seed, fault_plan=fault_plan,
                         observe=observe, config=config)
-    cells = execute_cells(specs, jobs=jobs, progress=progress)
+    cells = execute_cells(specs, jobs=jobs, progress=progress,
+                          profile_dir=profile_dir)
     return {
         (spec.scenario.name, spec.approach): cast(ExperimentResult, result)
         for spec, result in zip(specs, cells)

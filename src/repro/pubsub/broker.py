@@ -31,7 +31,14 @@ from typing import Any, Dict, Optional, Set, Tuple
 from repro.core.capacity import BrokerSpec
 from repro.pubsub.cbc import CrocBackendComponent
 from repro.pubsub.delay_estimation import DelayModelEstimator
-from repro.pubsub.matching import MatchingIndex, overlaps, subscription_covers
+from repro.pubsub.matching import (
+    BROKER,
+    CLIENT,
+    Destination,
+    MatchingIndex,
+    overlaps,
+    subscription_covers,
+)
 from repro.pubsub.message import (
     Advertisement,
     BrokerInformationAnswer,
@@ -43,11 +50,10 @@ from repro.pubsub.message import (
     Unsubscription,
 )
 
-#: Destination tags used in SRT payloads and transmission calls.
-CLIENT = "client"
-BROKER = "broker"
-
-Destination = Tuple[str, str]  # (CLIENT|BROKER, identifier)
+# CLIENT / BROKER / Destination live in repro.pubsub.matching (the SRT
+# partitions destinations by kind) and are re-exported here, where the
+# rest of the codebase has always imported them from.
+__all__ = ["BROKER", "CLIENT", "Broker", "Destination"]
 
 
 @dataclass
@@ -194,14 +200,12 @@ class Broker:
         reconfiguration protocol — the standard control/data separation
         of production brokers.
         """
-        bandwidth = self.spec.total_output_bandwidth
-        serialization = size_kb / bandwidth if bandwidth > 0 else 0.0
         is_publication = isinstance(message, Publication)
         if is_publication:
-            start = max(self._sim.now, self._out_free_at)
-            sent = start + serialization
-            self._out_free_at = sent
+            sent = self._serialize_publication(size_kb)
         else:
+            bandwidth = self.spec.total_output_bandwidth
+            serialization = size_kb / bandwidth if bandwidth > 0 else 0.0
             start = max(self._sim.now, self._ctl_free_at)
             sent = start + serialization
             self._ctl_free_at = sent
@@ -210,23 +214,63 @@ class Broker:
         )
         self._network.deliver(self.broker_id, destination, message, sent)
 
+    def _serialize_publication(self, size_kb: float) -> float:
+        """Advance the publication output lane by one message.
+
+        Returns the virtual time serialization completes — the same
+        FIFO bandwidth-limiter arithmetic whether the delivery is then
+        scheduled per destination or drained by one batched fan-out
+        event.
+        """
+        bandwidth = self.spec.total_output_bandwidth
+        serialization = size_kb / bandwidth if bandwidth > 0 else 0.0
+        start = max(self._sim.now, self._out_free_at)
+        sent = start + serialization
+        self._out_free_at = sent
+        return sent
+
     # ------------------------------------------------------------------
     # Publications
     # ------------------------------------------------------------------
     def _handle_publication(self, publication: Publication, source: Destination) -> None:
         if source[0] == CLIENT:
             self.cbc.on_local_publication(publication, self._sim.now)
-        matched = self._srt.matching_entries(publication)
-        forwarded_brokers: Set[str] = set()
-        for subscription, destination in matched:
-            if destination == source:
-                continue
-            if destination[0] == CLIENT:
-                if destination[1] in self.local_clients:
-                    self.cbc.on_delivery(subscription.sub_id, publication)
-                    self._transmit(destination, publication, publication.size_kb)
+        clients, forwarded_brokers = self._srt.matching_routes(publication, source)
+        if clients:
+            local = self.local_clients
+            size_kb = publication.size_kb
+            if self._network.delivery_batching:
+                # Fault-free fan-out: run the same per-subscriber lane
+                # arithmetic and send accounting, then hand the whole
+                # fan-out to the network as one batched delivery event
+                # instead of one event per subscriber.
+                sends = []
+                on_send = self._metrics.on_send
+                cbc_on_delivery = self.cbc.on_delivery
+                broker_id = self.broker_id
+                # The publication lane arithmetic of
+                # _serialize_publication, hoisted: now and the per-copy
+                # serialization time are loop constants.
+                bandwidth = self.spec.total_output_bandwidth
+                serialization = size_kb / bandwidth if bandwidth > 0 else 0.0
+                now = self._sim.now
+                free_at = self._out_free_at
+                for subscription, destination in clients:
+                    if destination[1] not in local:
+                        continue
+                    cbc_on_delivery(subscription.sub_id, publication)
+                    start = free_at if free_at > now else now
+                    free_at = start + serialization
+                    on_send(broker_id, size_kb, True, to_client=True)
+                    sends.append((free_at, destination[1]))
+                if sends:
+                    self._out_free_at = free_at
+                    self._network.deliver_fanout(broker_id, publication, sends)
             else:
-                forwarded_brokers.add(destination[1])
+                for subscription, destination in clients:
+                    if destination[1] in local:
+                        self.cbc.on_delivery(subscription.sub_id, publication)
+                        self._transmit(destination, publication, size_kb)
         tracer = self._network.tracer
         for broker_id in sorted(forwarded_brokers):
             if tracer is not None:

@@ -8,6 +8,15 @@ from typing import Any, Dict, Hashable, Iterable, List, Optional, Set, Tuple
 from repro.pubsub.message import Advertisement, Publication, Subscription
 from repro.pubsub.predicate import Operator, Predicate, covers as predicate_covers, intersects
 
+#: Destination kinds for SRT payloads.  Defined here (the bottom of the
+#: pub/sub layer) and re-exported by :mod:`repro.pubsub.broker` so the
+#: routing table can partition destinations without importing the
+#: broker module back.
+CLIENT = "client"
+BROKER = "broker"
+
+Destination = Tuple[str, str]  # (CLIENT|BROKER, identifier)
+
 
 def matches(subscription: Subscription, publication: Publication) -> bool:
     """Whether a publication satisfies every predicate of a subscription.
@@ -20,6 +29,31 @@ def matches(subscription: Subscription, publication: Publication) -> bool:
         if predicate.attribute not in attributes:
             return False
         if not predicate.matches(attributes[predicate.attribute]):
+            return False
+    return True
+
+
+_MISSING = object()
+
+
+def _residual_matches(residual: Tuple[Predicate, ...],
+                      attributes: Dict[str, Any]) -> bool:
+    """Evaluate a bucket entry's non-indexed predicates.
+
+    The bucket hit already proved the indexed equality, so this is
+    :func:`matches` restricted to the leftover predicates, taking the
+    publication's attribute dict directly.
+    """
+    for predicate in residual:
+        value = attributes.get(predicate.attribute, _MISSING)
+        if value is _MISSING:
+            return False
+        # EQ is the overwhelmingly common residual (the workload's
+        # 'class' pin); dispatching it here skips a method call.
+        if predicate.operator is Operator.EQ:
+            if value != predicate.value:
+                return False
+        elif not predicate.matches(value):
             return False
     return True
 
@@ -84,10 +118,17 @@ class MatchingIndex:
       repeat (publisher, broker) case reuses one precomputed probe
       list per routing-table epoch instead of hashing every
       ``(attribute, value)`` pair per message.
+
+    Bucket entries additionally carry the subscription's *residual*
+    predicates — everything except the indexed equality, which the
+    bucket hit already proves satisfied — so the per-candidate check
+    evaluates only what the index could not.
     """
 
     def __init__(self):
-        self._buckets: Dict[Tuple[str, Hashable], List[Tuple[Subscription, Any]]] = {}
+        self._buckets: Dict[
+            Tuple[str, Hashable], List[Tuple[Subscription, Any, Tuple[Predicate, ...]]]
+        ] = {}
         self._fallback: List[Tuple[Subscription, Any]] = []
         self._keys: Dict[Tuple[str, Any], Optional[Tuple[str, Hashable]]] = {}
         self._by_sub: Dict[str, List[Tuple[str, Any]]] = {}
@@ -127,7 +168,13 @@ class MatchingIndex:
         if key is None:
             self._fallback.append((subscription, payload))
         else:
-            self._buckets.setdefault(key, []).append((subscription, payload))
+            residual = tuple(
+                predicate
+                for predicate in subscription.predicates
+                if (predicate.attribute, predicate.value) != key
+                or predicate.operator is not Operator.EQ
+            )
+            self._buckets.setdefault(key, []).append((subscription, payload, residual))
             attribute = key[0]
             count = self._bucket_attrs.get(attribute, 0)
             self._bucket_attrs[attribute] = count + 1
@@ -151,9 +198,8 @@ class MatchingIndex:
                 ]
             elif key in self._buckets:
                 self._buckets[key] = [
-                    (sub, payload)
-                    for sub, payload in self._buckets[key]
-                    if sub.sub_id != sub_id
+                    entry for entry in self._buckets[key]
+                    if entry[0].sub_id != sub_id
                 ]
                 if not self._buckets[key]:
                     del self._buckets[key]
@@ -194,8 +240,8 @@ class MatchingIndex:
             bucket = self._buckets.get((attribute, attributes[attribute]))
             if not bucket:
                 continue
-            for subscription, payload in bucket:
-                if payload not in seen and matches(subscription, publication):
+            for subscription, payload, residual in bucket:
+                if payload not in seen and _residual_matches(residual, attributes):
                     seen.add(payload)
                     found.append(payload)
         for subscription, payload in self._fallback:
@@ -220,9 +266,9 @@ class MatchingIndex:
             bucket = self._buckets.get((attribute, attributes[attribute]))
             if not bucket:
                 continue
-            for subscription, payload in bucket:
-                if subscription.sub_id not in seen_subs and matches(
-                    subscription, publication
+            for subscription, payload, residual in bucket:
+                if subscription.sub_id not in seen_subs and _residual_matches(
+                    residual, attributes
                 ):
                     seen_subs.add(subscription.sub_id)
                     found.append((subscription, payload))
@@ -234,7 +280,32 @@ class MatchingIndex:
                 found.append((subscription, payload))
         return found
 
+    def matching_routes(
+        self, publication: Publication, exclude: Optional[Destination] = None
+    ) -> Tuple[List[Tuple[Subscription, Destination]], Set[str]]:
+        """Partition :meth:`matching_entries` into delivery routes.
+
+        Only meaningful when payloads are ``(kind, identifier)``
+        destination tuples (the broker's SRT).  Returns ``(clients,
+        brokers)``: the per-subscription client deliveries in match
+        order (each is a separate delivery and profile update) and the
+        de-duplicated set of next-hop broker ids.  ``exclude`` drops
+        the destination the publication arrived from, so a publication
+        never bounces back out of the link it came in on.
+        """
+        clients: List[Tuple[Subscription, Destination]] = []
+        brokers: Set[str] = set()
+        for subscription, destination in self.matching_entries(publication):
+            if destination == exclude:
+                continue
+            if destination[0] == CLIENT:
+                clients.append((subscription, destination))
+            else:
+                brokers.add(destination[1])
+        return clients, brokers
+
     def entries(self) -> Iterable[Tuple[Subscription, Any]]:
         for bucket in self._buckets.values():
-            yield from bucket
+            for subscription, payload, _residual in bucket:
+                yield subscription, payload
         yield from self._fallback

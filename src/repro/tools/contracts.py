@@ -1,6 +1,6 @@
 """The ``api-contract`` pass: the pluggable-allocator surface, enforced.
 
-Four families of checks, all whole-program:
+Several families of checks, all whole-program:
 
 * **Registered allocators** — every ``register(...)`` call that
   resolves to :func:`repro.core.allocators.register` (directly or via
@@ -43,6 +43,13 @@ Four families of checks, all whole-program:
   are consumed in *submission order*; hash-order iteration over the
   caller's container silently breaks that bit-identity guarantee, so
   the pass catches the shape statically.
+
+* **Engine queue encapsulation** — ``heapq`` imports and ``heapq.*``
+  calls are allowed only in :mod:`repro.sim.engine`.  The event queue
+  is the engine's private structure; a heap maintained anywhere else
+  bypasses the ``REPRO_ENGINE`` heap/calendar toggle and the engine's
+  determinism contract (tie order, cancellation accounting,
+  same-timestamp batching).
 """
 
 from __future__ import annotations
@@ -516,6 +523,52 @@ def _shard_merge_findings(info: ModuleInfo) -> Iterator[Finding]:
 
 
 # ----------------------------------------------------------------------
+# Engine queue encapsulation
+# ----------------------------------------------------------------------
+
+#: The one module allowed to use ``heapq``: the simulation engine owns
+#: the event-queue structure.  Everything else schedules through
+#: ``SimulatorCore``, so the heap/calendar engines stay interchangeable
+#: (``REPRO_ENGINE``) — a private heap elsewhere would silently bypass
+#: that toggle and the engine's determinism contract (tie order,
+#: cancellation accounting, same-timestamp batching).
+_QUEUE_OWNER = "repro.sim.engine"
+
+
+def _heapq_findings(info: ModuleInfo) -> Iterator[Finding]:
+    if info.name == _QUEUE_OWNER:
+        return
+
+    def finding(node: ast.AST, what: str) -> Finding:
+        return Finding(
+            info.path,
+            node.lineno,
+            node.col_offset,
+            "api-contract",
+            f"{what} outside {_QUEUE_OWNER}: the event queue belongs to "
+            "the engine — schedule through SimulatorCore so the "
+            "heap/calendar toggle and the determinism contract apply",
+        )
+
+    for node in ast.walk(info.module.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "heapq" or alias.name.startswith("heapq."):
+                    yield finding(node, "direct 'import heapq'")
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "heapq" and node.level == 0:
+                names = ", ".join(alias.name for alias in node.names)
+                yield finding(node, f"direct 'from heapq import {names}'")
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "heapq"
+        ):
+            yield finding(node, f"direct heapq.{node.func.attr}() call")
+
+
+# ----------------------------------------------------------------------
 # The pass
 # ----------------------------------------------------------------------
 
@@ -525,7 +578,8 @@ def _shard_merge_findings(info: ModuleInfo) -> Iterator[Finding]:
     "registered allocator builders must be picklable module-level "
     "callables keeping allocate(self, units, pool, directory); __all__ "
     "must be consistent and free of dead exports; shard-merge helpers "
-    "must not iterate dict views or sets of their inputs",
+    "must not iterate dict views or sets of their inputs; heapq stays "
+    "encapsulated in repro.sim.engine",
 )
 def check_api_contract(project: Project) -> List[Finding]:
     findings: List[Finding] = []
@@ -560,6 +614,7 @@ def check_api_contract(project: Project) -> List[Finding]:
 
     for name in sorted(project.modules):
         findings.extend(_shard_merge_findings(project.modules[name]))
+        findings.extend(_heapq_findings(project.modules[name]))
 
     # Name-reference index for the dead-export scan: everything any
     # *other* module (or the usage index) references.

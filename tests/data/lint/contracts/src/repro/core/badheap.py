@@ -1,0 +1,11 @@
+"""Fixture: a private event heap maintained outside the engine."""
+
+from __future__ import annotations
+
+import heapq
+from heapq import heappop
+
+
+def pop_earliest(queue):
+    heapq.heappush(queue, (0.0, 0, None))
+    return heappop(queue)

@@ -1,0 +1,9 @@
+"""Fixture negative control: the engine module itself may use heapq."""
+
+from __future__ import annotations
+
+import heapq
+
+
+def push(heap, entry):
+    heapq.heappush(heap, entry)

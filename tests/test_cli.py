@@ -100,7 +100,7 @@ class TestCommands:
         from repro.experiments.parallel import run_spec
 
         def flaky_execute_cells(specs, jobs=1, progress=None,
-                                return_exceptions=False):
+                                return_exceptions=False, profile_dir=None):
             results = []
             for spec in specs:
                 if progress is not None:
@@ -133,3 +133,57 @@ class TestCommands:
         ])
         assert code == 0
         assert "manual" in capsys.readouterr().out
+
+    def test_run_profile_dumps_pstats_per_cell(self, tmp_path, capsys):
+        import pstats
+
+        profile_dir = tmp_path / "profiles"
+        code = main([
+            "run", "--scenario", "homo", "--subs", "8", "--scale", "0.1",
+            "--approach", "manual", "--approach", "binpacking",
+            "--measurement-time", "10",
+            "--profile", str(profile_dir),
+        ])
+        assert code == 0
+        dumps = sorted(path.name for path in profile_dir.glob("*.pstats"))
+        assert len(dumps) == 2
+        assert any("manual" in name for name in dumps)
+        assert any("binpacking" in name for name in dumps)
+        # Each dump is a loadable profile that saw the simulation run.
+        stats = pstats.Stats(str(profile_dir / dumps[0]))
+        assert stats.total_calls > 0
+
+    def test_profile_forces_serial_and_stays_bit_identical(
+        self, tmp_path, capsys
+    ):
+        args = [
+            "run", "--scenario", "homo", "--subs", "8", "--scale", "0.1",
+            "--approach", "manual", "--measurement-time", "10",
+            "--json",
+        ]
+        bare_json = tmp_path / "bare.json"
+        assert main(args + [str(bare_json)]) == 0
+        profiled_json = tmp_path / "profiled.json"
+        assert main(
+            args + [str(profiled_json), "--jobs", "4",
+                    "--profile", str(tmp_path / "prof")]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "profiling forces serial execution" in err
+        with open(bare_json) as handle:
+            bare = json.load(handle)
+        with open(profiled_json) as handle:
+            profiled = json.load(handle)
+        for row in (*bare, *profiled):
+            row.pop("computation_s")  # wall-clock, not simulation output
+        assert bare == profiled
+
+    def test_figure_profile_dumps_pstats(self, tmp_path, capsys):
+        profile_dir = tmp_path / "profiles"
+        code = main([
+            "figure", "--figure", "brokers", "--scenario", "homo",
+            "--subs", "8", "--scale", "0.1", "--approach", "manual",
+            "--measurement-time", "10", "--profile", str(profile_dir),
+        ])
+        assert code == 0
+        assert list(profile_dir.glob("*.pstats"))

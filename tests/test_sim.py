@@ -4,36 +4,42 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.sim.engine import SimulationError, Simulator
+from repro.sim.engine import CalendarSimulator, SimulationError, Simulator
 from repro.sim.rng import SeededRng, derive_seed
 
 
+@pytest.fixture(params=[Simulator, CalendarSimulator], ids=["heap", "calendar"])
+def sim_cls(request):
+    """Both engines satisfy the same execution contract."""
+    return request.param
+
+
 class TestSimulator:
-    def test_events_fire_in_time_order(self):
-        sim = Simulator()
+    def test_events_fire_in_time_order(self, sim_cls):
+        sim = sim_cls()
         fired = []
         sim.schedule(5.0, lambda: fired.append("late"))
         sim.schedule(1.0, lambda: fired.append("early"))
         sim.run()
         assert fired == ["early", "late"]
 
-    def test_ties_fire_in_insertion_order(self):
-        sim = Simulator()
+    def test_ties_fire_in_insertion_order(self, sim_cls):
+        sim = sim_cls()
         fired = []
         for tag in ("a", "b", "c"):
             sim.schedule(1.0, lambda tag=tag: fired.append(tag))
         sim.run()
         assert fired == ["a", "b", "c"]
 
-    def test_clock_advances_to_event_time(self):
-        sim = Simulator()
+    def test_clock_advances_to_event_time(self, sim_cls):
+        sim = sim_cls()
         seen = []
         sim.schedule(2.5, lambda: seen.append(sim.now))
         sim.run()
         assert seen == [2.5]
 
-    def test_run_until_stops_and_advances_clock(self):
-        sim = Simulator()
+    def test_run_until_stops_and_advances_clock(self, sim_cls):
+        sim = sim_cls()
         fired = []
         sim.schedule(1.0, lambda: fired.append(1))
         sim.schedule(10.0, lambda: fired.append(10))
@@ -43,15 +49,15 @@ class TestSimulator:
         sim.run(until=20.0)
         assert fired == [1, 10]
 
-    def test_event_at_until_boundary_fires(self):
-        sim = Simulator()
+    def test_event_at_until_boundary_fires(self, sim_cls):
+        sim = sim_cls()
         fired = []
         sim.schedule(5.0, lambda: fired.append(5))
         sim.run(until=5.0)
         assert fired == [5]
 
-    def test_nested_scheduling(self):
-        sim = Simulator()
+    def test_nested_scheduling(self, sim_cls):
+        sim = sim_cls()
         fired = []
 
         def first():
@@ -62,8 +68,8 @@ class TestSimulator:
         sim.run()
         assert fired == [1.0, 2.0]
 
-    def test_cancelled_event_skipped(self):
-        sim = Simulator()
+    def test_cancelled_event_skipped(self, sim_cls):
+        sim = sim_cls()
         fired = []
         event = sim.schedule(1.0, lambda: fired.append("no"))
         event.cancel()
@@ -71,28 +77,28 @@ class TestSimulator:
         assert fired == []
         assert sim.events_processed == 0
 
-    def test_negative_delay_rejected(self):
-        sim = Simulator()
+    def test_negative_delay_rejected(self, sim_cls):
+        sim = sim_cls()
         with pytest.raises(SimulationError):
             sim.schedule(-0.1, lambda: None)
 
-    def test_schedule_in_past_rejected(self):
-        sim = Simulator()
+    def test_schedule_in_past_rejected(self, sim_cls):
+        sim = sim_cls()
         sim.schedule(5.0, lambda: None)
         sim.run()
         with pytest.raises(SimulationError):
             sim.schedule_at(1.0, lambda: None)
 
-    def test_max_events(self):
-        sim = Simulator()
+    def test_max_events(self, sim_cls):
+        sim = sim_cls()
         fired = []
         for index in range(5):
             sim.schedule(float(index + 1), lambda i=index: fired.append(i))
         sim.run(max_events=2)
         assert fired == [0, 1]
 
-    def test_not_reentrant(self):
-        sim = Simulator()
+    def test_not_reentrant(self, sim_cls):
+        sim = sim_cls()
         error = {}
 
         def reenter():
