@@ -1,0 +1,160 @@
+"""Energy accounting overhead and the multi-objective Pareto sweep.
+
+Two gates back the energy subsystem (paper-external; the bit-identity
+of attached vs detached outputs is separately pinned by
+``tests/test_energy_equivalence.py``):
+
+* **Attachment overhead** — one cram-ios cell runs with and without
+  ``RunConfig.energy``; the energy model is pure post-processing of
+  already-collected counters, so the attached run must keep at least
+  ``OVERHEAD_FLOOR`` of detached throughput (best-of-3 wall times) and
+  the result rows must stay bit-identical.
+* **Green trade-off front** — the three-approach sweep (manual,
+  binpacking, cram-ios) is ranked by non-dominated {brokers, joules,
+  delay, delivery-rate} vectors; cram-ios must land on the front and
+  beat manual on at least ``DOMINANCE_FLOOR`` objectives (the paper's
+  consolidation claim, priced in joules).
+
+Both figures land in ``BENCH_energy.json``; ``bench-results/`` keeps a
+captured baseline.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import BENCH_SEED, print_figure, record_bench
+
+from repro.core.config import RunConfig
+from repro.core.energy import EnergySpec
+from repro.core.floats import approx_eq, approx_le
+from repro.experiments.parallel import CellSpec, run_spec
+from repro.experiments.sweeps import (
+    PARETO_OBJECTIVES,
+    homogeneous_scenarios,
+    pareto_front,
+)
+
+#: Attached must retain at least this fraction of detached throughput.
+OVERHEAD_FLOOR = 0.95
+
+#: cram-ios must beat manual on at least this many objectives.
+DOMINANCE_FLOOR = 2
+
+CELL_SUBS = 10
+CELL_SCALE = 0.2
+CELL_MEASUREMENT_TIME = 30.0
+CELL_APPROACH = "cram-ios"
+ROUNDS = 3
+
+PARETO_APPROACHES = ("manual", "binpacking", "cram-ios")
+
+
+def _scenario():
+    return homogeneous_scenarios(
+        subs_sweep=(CELL_SUBS,), scale=CELL_SCALE,
+        measurement_time=CELL_MEASUREMENT_TIME,
+    )[0]
+
+
+def _cell_spec(energy: bool) -> CellSpec:
+    return CellSpec(
+        scenario=_scenario(), approach=CELL_APPROACH, seed=BENCH_SEED,
+        config=RunConfig(energy=EnergySpec()) if energy else None,
+    )
+
+
+def _comparable_row(result) -> dict:
+    row = result.as_row()
+    row.pop("computation_s")  # wall-clock measurement, not simulation output
+    return {key: repr(value) for key, value in row.items()}
+
+
+def _best_cell_time(energy: bool, rounds: int = ROUNDS):
+    """(best wall seconds, last result) over ``rounds`` runs."""
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        spec = _cell_spec(energy)
+        start = time.perf_counter()
+        result = run_spec(spec)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_energy_attachment_overhead(benchmark):
+    detached_s, detached = benchmark.pedantic(
+        _best_cell_time, args=(False,), rounds=1, iterations=1
+    )
+    attached_s, attached = _best_cell_time(True)
+
+    # The perf gate is only meaningful if attached == detached holds.
+    assert _comparable_row(detached) == _comparable_row(attached)
+    assert detached.energy is None and attached.energy is not None
+    assert attached.energy.joules > 0
+
+    ratio = detached_s / attached_s if attached_s > 0 else float("inf")
+    print_figure(
+        "energy: attached vs detached experiment cell",
+        [{
+            "approach": CELL_APPROACH,
+            "detached_s": round(detached_s, 3),
+            "attached_s": round(attached_s, 3),
+            "throughput_ratio": round(ratio, 3),
+            "floor": OVERHEAD_FLOOR,
+            "joules": round(attached.energy.joules, 1),
+        }],
+    )
+    record_bench(
+        "energy", [],
+        attachment_overhead={
+            "throughput_ratio": round(ratio, 3),
+            "floor": OVERHEAD_FLOOR,
+        },
+    )
+    assert ratio >= OVERHEAD_FLOOR, (
+        f"energy-attached cell keeps only {ratio:.3f}x of detached "
+        f"throughput (floor {OVERHEAD_FLOOR}x)"
+    )
+
+
+def _objectives_beaten(first, second) -> int:
+    """On how many objectives ``first`` is strictly better than ``second``."""
+    beaten = 0
+    for index, (_key, maximize) in enumerate(PARETO_OBJECTIVES):
+        a, b = first[index], second[index]
+        better = approx_le(b, a) if maximize else approx_le(a, b)
+        if better and not approx_eq(a, b):
+            beaten += 1
+    return beaten
+
+
+def test_pareto_front_prices_consolidation():
+    scenario = _scenario()
+    config = RunConfig(energy=EnergySpec())
+    results = {}
+    for approach in PARETO_APPROACHES:
+        spec = CellSpec(scenario=scenario, approach=approach,
+                        seed=BENCH_SEED, config=config)
+        results[(scenario.name, approach)] = run_spec(spec)
+
+    front = pareto_front(results)
+    print_figure("energy: three-approach pareto sweep", front.rows())
+
+    cram_rank = front.rank_of(scenario.name, "cram-ios")
+    vectors = {entry.approach: entry.vector for entry in front.entries}
+    beaten = _objectives_beaten(vectors["cram-ios"], vectors["manual"])
+    record_bench(
+        "energy", [],
+        pareto={
+            "cram_ios_rank": cram_rank,
+            "objectives_beaten_vs_manual": beaten,
+            "dominance_floor": DOMINANCE_FLOOR,
+            "objectives": [key for key, _max in PARETO_OBJECTIVES],
+        },
+    )
+    assert cram_rank == 1, "cram-ios fell off the pareto front"
+    assert beaten >= DOMINANCE_FLOOR, (
+        f"cram-ios beats manual on only {beaten} objectives "
+        f"(floor {DOMINANCE_FLOOR}: fewer brokers must mean fewer joules)"
+    )

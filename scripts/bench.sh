@@ -8,6 +8,7 @@
 #   scripts/bench.sh                                  # full harness
 #   scripts/bench.sh benchmarks/test_bench_closeness_kernel.py
 #   scripts/bench.sh benchmarks/test_bench_engine.py  # calendar vs heap
+#   scripts/bench.sh benchmarks/test_bench_energy.py  # energy + pareto
 #   REPRO_BENCH_OUT=out/bench scripts/bench.sh -k comptime
 #
 # Scenario knobs (REPRO_BENCH_SCALE, REPRO_BENCH_SUBS, REPRO_BENCH_SEED,

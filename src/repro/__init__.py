@@ -43,6 +43,7 @@ from repro.core.allocators import (
     registered_allocators,
 )
 from repro.core.config import RunConfig
+from repro.core.energy import EnergyAccountant, EnergyReport, EnergySpec
 from repro.core.online import OnlineSpec
 from repro.experiments.continuous import (
     ContinuousReconfigurator,
@@ -96,6 +97,9 @@ __all__ = [
     # Run configuration and online reallocation
     "RunConfig",
     "OnlineSpec",
+    "EnergyAccountant",
+    "EnergyReport",
+    "EnergySpec",
     "OnlineScheduler",
     "BrokerLoadEstimator",
     # Experiment drivers

@@ -26,6 +26,15 @@ from repro.core.allocators import (
 )
 from repro.core.bitvector import DEFAULT_CAPACITY, BitVector
 from repro.core.config import RunConfig
+from repro.core.energy import (
+    BrokerEnergy,
+    EnergyAccountant,
+    EnergyReport,
+    EnergySpec,
+    WindowUsage,
+    account_window,
+    combined_report,
+)
 from repro.core.online import (
     STRATEGIES,
     Migration,
@@ -96,6 +105,13 @@ __all__ = [
     "registered_allocators",
     "supports",
     "RunConfig",
+    "BrokerEnergy",
+    "EnergyAccountant",
+    "EnergyReport",
+    "EnergySpec",
+    "WindowUsage",
+    "account_window",
+    "combined_report",
     "STRATEGIES",
     "Migration",
     "MigrationPlan",

@@ -50,9 +50,12 @@ AllocatorBuilder = Callable[..., AllocatorFactory]
 #: ``incremental`` — exposes ``plan_migrations`` for the online
 #: scheduler; ``sharded`` — partitions Phase 2 across shard workers;
 #: ``kernel_aware`` — honors the ``use_kernel``/``use_columnar``/
-#: ``columnar_backend`` knobs of :class:`~repro.core.config.RunConfig`.
+#: ``columnar_backend`` knobs of :class:`~repro.core.config.RunConfig`;
+#: ``energy_aware`` — accepts the ``energy`` knob (an
+#: :class:`~repro.core.energy.EnergySpec`) and carries it for
+#: energy-conscious scheduling decisions (never altering allocations).
 KNOWN_CAPABILITIES: FrozenSet[str] = frozenset(
-    {"incremental", "sharded", "kernel_aware"}
+    {"incremental", "sharded", "kernel_aware", "energy_aware"}
 )
 
 
@@ -286,18 +289,20 @@ class _OnlineBuilder:
         self,
         failure_budget: Any = None,
         online: Optional[OnlineSpec] = None,
+        energy: Any = None,
         use_kernel: Optional[bool] = None,
         use_columnar: Optional[bool] = None,
         columnar_backend: Optional[str] = None,
         **_: Any,
     ) -> AllocatorFactory:
         strategy, metric, budget = self.strategy, self.metric, failure_budget
-        spec = online
+        spec, energy_spec = online, energy
         return lambda: OnlineAllocator(
             strategy=strategy,
             metric=metric,
             failure_budget=budget,
             spec=spec,
+            energy=energy_spec,
             use_kernel=use_kernel,
             use_columnar=use_columnar,
             columnar_backend=columnar_backend,
@@ -313,9 +318,9 @@ del _metric
 register("cram-ios-sharded", _ShardedCramBuilder("ios"),
          capabilities=("kernel_aware", "sharded"))
 register("inc-trade", _OnlineBuilder("inc_trade"),
-         capabilities=("incremental", "kernel_aware"))
+         capabilities=("incremental", "kernel_aware", "energy_aware"))
 register("fij-trade", _OnlineBuilder("fij_trade"),
-         capabilities=("incremental", "kernel_aware"))
+         capabilities=("incremental", "kernel_aware", "energy_aware"))
 
 #: Import-time snapshot of the built-in registrations.  Every Python
 #: process that imports this module gets exactly these, so a spawned

@@ -44,6 +44,7 @@ from dataclasses import dataclass, replace
 from typing import Any, Dict, Optional
 
 from repro.core.columnar import columnar_enabled, resolve_backend
+from repro.core.energy import EnergySpec
 from repro.core.kernel import kernel_enabled
 from repro.core.online import OnlineSpec
 
@@ -149,6 +150,11 @@ class RunConfig:
     #: Simulation-engine queue structure: ``heap`` (reference) or
     #: ``calendar`` (bucketed calendar queue, bit-identical order).
     engine: Optional[str] = None
+    #: An :class:`~repro.core.energy.EnergySpec` attaching post-hoc
+    #: energy accounting to each measurement; ``None`` = off.  Pure
+    #: arithmetic over already-measured counters — never a behavioral
+    #: knob (pinned by the energy equivalence suite).
+    energy: Optional[EnergySpec] = None
 
     def __post_init__(self) -> None:
         if self.engine is not None:
@@ -198,4 +204,5 @@ class RunConfig:
             "use_columnar": self.use_columnar,
             "columnar_backend": self.columnar_backend,
             "online": self.online,
+            "energy": self.energy,
         }

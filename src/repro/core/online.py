@@ -74,6 +74,12 @@ class OnlineSpec:
     gap:
         Virtual seconds a migrated subscriber spends detached — the
         honest delivery gap each migration batch pays.
+    autoscale / target_util:
+        Enable the drift-gated pool autoscaler
+        (:class:`repro.experiments.continuous.PoolAutoscaler`): size the
+        allocated broker set so predicted load lands at ``target_util``
+        of summed capacity, forcing a full CROC cycle whenever the
+        target count disagrees with the current allocation.
     """
 
     strategy: str = "inc_trade"
@@ -85,6 +91,8 @@ class OnlineSpec:
     window: int = 8
     horizon: float = 0.0
     gap: float = 0.05
+    autoscale: bool = False
+    target_util: float = 0.6
 
     def __post_init__(self) -> None:
         if self.strategy not in STRATEGIES:
@@ -110,9 +118,13 @@ class OnlineSpec:
             raise ValueError(f"horizon must be >= 0, got {self.horizon}")
         if self.gap < 0.0:
             raise ValueError(f"gap must be >= 0, got {self.gap}")
+        if not 0.0 < self.target_util <= 1.0:
+            raise ValueError(
+                f"target_util must be in (0, 1], got {self.target_util}"
+            )
 
     _SPEC_KEYS = ("strategy", "steps", "high", "low", "drift", "moves",
-                  "window", "horizon", "gap")
+                  "window", "horizon", "gap", "autoscale", "target")
 
     @classmethod
     def from_spec(cls, spec: str) -> Optional["OnlineSpec"]:
@@ -168,6 +180,10 @@ class OnlineSpec:
                 values["window"] = int(value)
             elif key == "horizon":
                 values["horizon"] = float(value)
+            elif key == "autoscale":
+                values["autoscale"] = bool(int(value))
+            elif key == "target":
+                values["target_util"] = float(value)
             else:
                 values["gap"] = float(value)
         return cls(**values)
@@ -515,6 +531,7 @@ class OnlineAllocator:
         metric: str = "ios",
         failure_budget: Optional[int] = None,
         spec: Optional[OnlineSpec] = None,
+        energy: Any = None,
         use_kernel: Optional[bool] = None,
         use_columnar: Optional[bool] = None,
         columnar_backend: Optional[str] = None,
@@ -526,6 +543,12 @@ class OnlineAllocator:
             # spec contributes every other knob.
             spec = replace(spec, strategy=strategy)
         self.spec = spec
+        #: The ``energy_aware`` capability: an attached
+        #: :class:`~repro.core.energy.EnergySpec` rides along for the
+        #: scheduler's per-cycle accounting.  Never consulted during
+        #: :meth:`allocate` / :meth:`plan_migrations` — attaching it
+        #: cannot change any allocation (the equivalence contract).
+        self.energy_spec = energy
         self.strategy = make_strategy(self.spec)
         self.name = strategy.replace("_", "-")
         self._inner = CramAllocator(

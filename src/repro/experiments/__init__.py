@@ -12,7 +12,17 @@ from repro.experiments.continuous import (
 from repro.experiments.parallel import CellSpec, execute_cells, run_spec
 from repro.experiments.report import format_rows, reduction
 from repro.experiments.runner import APPROACHES, ExperimentResult, ExperimentRunner
-from repro.experiments.sweeps import FIGURES, figure_rows, run_cell, sweep, sweep_specs
+from repro.experiments.sweeps import (
+    FIGURES,
+    PARETO_OBJECTIVES,
+    ParetoEntry,
+    ParetoFront,
+    figure_rows,
+    pareto_front,
+    run_cell,
+    sweep,
+    sweep_specs,
+)
 from repro.experiments.visualize import (
     render_broker_loads,
     render_deployment,
@@ -35,6 +45,10 @@ __all__ = [
     "format_rows",
     "reduction",
     "FIGURES",
+    "PARETO_OBJECTIVES",
+    "ParetoEntry",
+    "ParetoFront",
+    "pareto_front",
     "figure_rows",
     "run_cell",
     "sweep",

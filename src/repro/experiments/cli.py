@@ -27,13 +27,14 @@ from typing import List, Optional, Sequence
 from repro.core import allocators
 from repro.core.config import RunConfig
 from repro.core.croc import ReconfigurationError
+from repro.core.energy import EnergySpec
 from repro.core.online import OnlineSpec
 from repro.experiments.parallel import (
     CellSpec,
     execute_cells,
     set_default_shard_jobs,
 )
-from repro.experiments.report import format_rows
+from repro.experiments.report import format_rows, summarize_pareto
 from repro.experiments.runner import available_approaches
 from repro.obs import export as obs_export
 from repro.obs import report as obs_report
@@ -42,6 +43,7 @@ from repro.experiments.sweeps import (
     figure_rows,
     heterogeneous_scenarios,
     homogeneous_scenarios,
+    pareto_front,
     scinet_scenarios,
     sweep,
 )
@@ -121,6 +123,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                              "'strategy=fij_trade,steps=2,high=0.75,"
                              "low=0.45,drift=0.2,moves=4' "
                              "('none' disables)")
+    parser.add_argument("--energy", type=EnergySpec.from_spec, default=None,
+                        metavar="SPEC",
+                        help="attach post-hoc energy accounting, e.g. "
+                             "'default' or 'idle=60,active=90,match=0.05,"
+                             "tx=0.02,crashed=0' ('none' disables); "
+                             "non-energy outputs stay bit-identical")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -138,6 +146,14 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(run_cmd)
     run_cmd.add_argument("--approach", action="append", choices=approaches,
                          help="repeatable; default: manual + cram-ios")
+    run_cmd.add_argument("--pareto", action="store_true",
+                         help="rank the approaches by non-dominated "
+                              "{brokers, joules, delay, delivery_rate} "
+                              "vectors (implies --energy default)")
+    run_cmd.add_argument("--energy-out", metavar="PATH", default=None,
+                         help="write the energy/pareto records to PATH "
+                              "(JSONL, or JSON with a .json suffix) for "
+                              "'repro report pareto'")
 
     figure_cmd = commands.add_parser(
         "figure", help="regenerate one of the paper's figures"
@@ -150,9 +166,11 @@ def build_parser() -> argparse.ArgumentParser:
     report_cmd = commands.add_parser(
         "report", help="summarize a recorded artifact"
     )
-    report_cmd.add_argument("kind", choices=["obs"],
-                            help="artifact type (obs = observation export)")
-    report_cmd.add_argument("path", help="export written by --obs")
+    report_cmd.add_argument("kind", choices=["obs", "pareto"],
+                            help="artifact type (obs = observation "
+                                 "export, pareto = energy export)")
+    report_cmd.add_argument("path",
+                            help="export written by --obs / --energy-out")
     report_cmd.add_argument("--no-wall", action="store_true",
                             help="omit wall-clock columns (the remaining "
                                  "summary is deterministic)")
@@ -169,9 +187,13 @@ def _run_config(args) -> Optional[RunConfig]:
     """
     online = getattr(args, "online", None)
     shard_jobs = getattr(args, "shard_jobs", None)
-    if online is None and shard_jobs is None:
+    energy = getattr(args, "energy", None)
+    if energy is None and getattr(args, "pareto", False):
+        # Pareto ranking needs joules; default the model when unset.
+        energy = EnergySpec()
+    if online is None and shard_jobs is None and energy is None:
         return None
-    return RunConfig(shard_jobs=shard_jobs, online=online)
+    return RunConfig(shard_jobs=shard_jobs, online=online, energy=energy)
 
 
 def _write_obs(path: str, labeled_results) -> None:
@@ -184,6 +206,55 @@ def _write_obs(path: str, labeled_results) -> None:
     records = obs_export.merge_observations(observations)
     obs_export.write_export(path, records)
     print(f"wrote {path}", file=sys.stderr)
+
+
+def _print_energy(args, finished) -> int:
+    """Energy table, optional Pareto ranking, optional export file.
+
+    ``finished`` is the list of ``(CellSpec, ExperimentResult)`` pairs
+    that completed; failed cells are already reported by the caller.
+    """
+    if not finished:
+        return 0
+    energy_rows = [cell.energy_row() for _spec, cell in finished]
+    print()
+    print("energy:")
+    print(format_rows(energy_rows))
+    front = None
+    if args.pareto:
+        results = {
+            (spec.scenario.name, spec.approach): cell
+            for spec, cell in finished
+        }
+        front = pareto_front(results)
+        objectives = " ".join(
+            f"{key}{'↑' if maximize else '↓'}"
+            for key, maximize in front.objectives
+        )
+        print()
+        print(f"pareto ranking ({objectives}; * = non-dominated):")
+        print(format_rows(front.rows()))
+    if args.energy_out:
+        labeled = []
+        for spec, cell in finished:
+            scenario_name = spec.scenario.name
+            label = f"{scenario_name}/{spec.approach}"
+            labeled.append((label, cell.energy.export_record(
+                label, scenario_name, spec.approach)))
+        records = obs_export.energy_export(labeled)
+        if front is not None:
+            for entry in front.entries:
+                records.append({
+                    "record": "pareto",
+                    "cell": entry.cell,
+                    "scenario": entry.scenario,
+                    "approach": entry.approach,
+                    "rank": entry.rank,
+                    "front": entry.rank == 1,
+                })
+        obs_export.write_export(args.energy_out, records)
+        print(f"wrote {args.energy_out}", file=sys.stderr)
+    return 0
 
 
 def cmd_run(args) -> int:
@@ -214,6 +285,12 @@ def cmd_run(args) -> int:
     if rows:
         print(format_rows(rows))
         _export(rows, args)
+    if config is not None and config.energy is not None:
+        finished = [
+            (spec, cell) for spec, cell in zip(specs, cells)
+            if not isinstance(cell, BaseException)
+        ]
+        _print_energy(args, finished)
     if args.obs:
         _write_obs(args.obs, [
             (f"{spec.scenario.name}/{spec.approach}", cell)
@@ -264,7 +341,11 @@ def cmd_report(args) -> int:
         print(f"error: cannot read {args.path}: {exc}", file=sys.stderr)
         return 2
     try:
-        summary = obs_report.summarize(records, include_wall=not args.no_wall)
+        if args.kind == "pareto":
+            summary = summarize_pareto(records)
+        else:
+            summary = obs_report.summarize(
+                records, include_wall=not args.no_wall)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

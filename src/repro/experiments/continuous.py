@@ -26,10 +26,12 @@ that cycle — the online steps alone track the workload.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.croc import Croc, ReconfigurationError
+from repro.core.energy import EnergyAccountant, EnergySpec
 from repro.core.floats import EPSILON
 from repro.core.online import (
     BrokerLoad,
@@ -71,6 +73,16 @@ class CycleReport:
     subscriptions_moved: int = 0
     migration_gap_s: float = 0.0
     drift: float = 0.0
+    #: Pool-autoscaler outcome (``OnlineSpec.autoscale``): the broker
+    #: count the estimator's predicted load asked for this cycle, and
+    #: its difference from the allocation entering the cycle.  Both 0
+    #: when the autoscaler is off.
+    autoscale_target: int = 0
+    autoscale_delta: int = 0
+    #: Energy accounted over this cycle's measurement window
+    #: (``RunConfig.energy``); 0.0 when the model is detached.
+    joules: float = 0.0
+    joules_per_delivery: float = 0.0
 
     def as_row(self) -> dict:
         return {
@@ -89,6 +101,10 @@ class CycleReport:
             "subscriptions_moved": self.subscriptions_moved,
             "migration_gap_s": round(self.migration_gap_s, 4),
             "drift": round(self.drift, 4),
+            "autoscale_target": self.autoscale_target,
+            "autoscale_delta": self.autoscale_delta,
+            "joules": round(self.joules, 4),
+            "joules_per_delivery": round(self.joules_per_delivery, 6),
         }
 
 
@@ -308,6 +324,86 @@ class OnlineScheduler:
         """Capture the current predictions as the new drift baseline."""
         self.baseline = self.estimator.predicted_loads()
 
+    def pool_capacities(self) -> Dict[str, float]:
+        """Output-bandwidth capacity per pool broker (a copy)."""
+        return dict(self._capacity)
+
+
+@dataclass(frozen=True)
+class AutoscaleDecision:
+    """One cycle's pool-sizing verdict from predicted load.
+
+    ``target`` is the broker count that lands the estimator's total
+    predicted output load at ``target_util`` of summed capacity,
+    clamped to ``[min_brokers, pool_size]``; ``current`` is the
+    allocation entering the cycle.
+    """
+
+    cycle: int
+    current: int
+    target: int
+    predicted_load: float
+    mean_capacity: float
+
+    @property
+    def delta(self) -> int:
+        return self.target - self.current
+
+
+class PoolAutoscaler:
+    """Drift-gated pool sizing from the estimator's predicted load.
+
+    The online drift gate answers "has the load *shape* moved?"; this
+    hook answers "is the allocated broker set the right *size*?".  Each
+    cycle it converts the estimator's total predicted output load into
+    a target broker count (load / (target_util × mean capacity),
+    rounded up).  A non-zero delta overrides the drift-gated skip so
+    the full CROC run resizes the allocation; a zero delta leaves the
+    skip decision to the drift gate.  Pure arithmetic over already
+    sampled predictions — deterministic, and inert unless
+    ``OnlineSpec.autoscale`` is set.
+    """
+
+    def __init__(
+        self,
+        scheduler: OnlineScheduler,
+        spec: OnlineSpec,
+        min_brokers: int = 1,
+    ):
+        if min_brokers < 1:
+            raise ValueError(f"min_brokers must be >= 1, got {min_brokers}")
+        self.scheduler = scheduler
+        self.spec = spec
+        self.min_brokers = min_brokers
+        self.decisions: List[AutoscaleDecision] = []
+
+    def decide(self, cycle: int, current: int) -> AutoscaleDecision:
+        """Size the pool for the predicted load (records the decision)."""
+        capacities = self.scheduler.pool_capacities()
+        predicted = self.scheduler.estimator.predicted_loads()
+        total_load = sum(
+            max(predicted[broker_id], 0.0) for broker_id in sorted(predicted)
+        )
+        pool_size = len(capacities)
+        mean_capacity = (
+            sum(capacities.values()) / pool_size if pool_size else 0.0
+        )
+        usable = self.spec.target_util * mean_capacity
+        if usable > EPSILON and total_load > EPSILON:
+            need = math.ceil(total_load / usable)
+        else:
+            need = self.min_brokers
+        target = max(self.min_brokers, min(need, pool_size or self.min_brokers))
+        decision = AutoscaleDecision(
+            cycle=cycle,
+            current=current,
+            target=target,
+            predicted_load=total_load,
+            mean_capacity=mean_capacity,
+        )
+        self.decisions.append(decision)
+        return decision
+
 
 class ContinuousReconfigurator:
     """Periodic CROC control loop.
@@ -332,6 +428,12 @@ class ContinuousReconfigurator:
         Optional override for the online planner (anything with
         ``plan_migrations(brokers, subscriptions)``); defaults to the
         core strategy named by ``online.strategy``.
+    energy:
+        Optional :class:`~repro.core.energy.EnergySpec` attaching an
+        :class:`~repro.core.energy.EnergyAccountant` that integrates
+        each cycle's measurement window (crash downtime and migration
+        gaps included) into per-cycle joules.  Post-hoc arithmetic
+        only — the loop's behavior is identical with it detached.
     """
 
     def __init__(
@@ -342,6 +444,7 @@ class ContinuousReconfigurator:
         on_cycle_start: Optional[Callable[[int], None]] = None,
         online: Optional[OnlineSpec] = None,
         planner=None,
+        energy: Optional[EnergySpec] = None,
     ):
         self.croc = croc
         self.profiling_time = profiling_time
@@ -350,6 +453,10 @@ class ContinuousReconfigurator:
         self.online = online
         self._planner = planner
         self._scheduler: Optional[OnlineScheduler] = None
+        self.accountant = (
+            EnergyAccountant(energy) if energy is not None else None
+        )
+        self.autoscaler: Optional[PoolAutoscaler] = None
         self.reports: List[CycleReport] = []
 
     @property
@@ -362,6 +469,11 @@ class ContinuousReconfigurator:
             return None
         if self._scheduler is None or self._scheduler.network is not network:
             self._scheduler = OnlineScheduler(network, self.online, self._planner)
+            self.autoscaler = (
+                PoolAutoscaler(self._scheduler, self.online)
+                if self.online.autoscale
+                else None
+            )
         return self._scheduler
 
     def run(self, network: PubSubNetwork, cycles: int) -> List[CycleReport]:
@@ -405,11 +517,23 @@ class ContinuousReconfigurator:
                 subscriptions = 0
                 degraded = False
                 rolled_back = False
+                autoscale_target = 0
+                autoscale_delta = 0
+                if self.autoscaler is not None:
+                    decision = self.autoscaler.decide(
+                        cycle, len(network.active_brokers)
+                    )
+                    autoscale_target = decision.target
+                    autoscale_delta = decision.delta
                 skip_full = (
                     scheduler is not None
                     and scheduler.baseline
                     and self.online.drift_threshold > 0
                     and drift_value <= self.online.drift_threshold
+                    # A mis-sized pool forces the full run even when the
+                    # load shape has not drifted: only a full CROC cycle
+                    # can grow or shrink the allocated broker set.
+                    and autoscale_delta == 0
                 )
                 if skip_full:
                     reconfigured = False
@@ -443,6 +567,12 @@ class ContinuousReconfigurator:
                     len(pool), network.active_brokers, bandwidths
                 )
                 cycle_span.set(reconfigured=reconfigured, rolled_back=rolled_back)
+            joules = 0.0
+            joules_per_delivery = 0.0
+            if self.accountant is not None:
+                energy_report = self.accountant.observe(summary.energy_usage())
+                joules = energy_report.joules
+                joules_per_delivery = energy_report.joules_per_delivery
             self.reports.append(
                 CycleReport(
                     cycle=cycle,
@@ -458,6 +588,10 @@ class ContinuousReconfigurator:
                     subscriptions_moved=moved,
                     migration_gap_s=gap_s,
                     drift=drift_value,
+                    autoscale_target=autoscale_target,
+                    autoscale_delta=autoscale_delta,
+                    joules=joules,
+                    joules_per_delivery=joules_per_delivery,
                 )
             )
         return self.reports

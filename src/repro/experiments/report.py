@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Sequence
 
+from repro.obs.export import SCHEMA_VERSION, validate_records
 from repro.obs.report import format_rows as format_rows  # historical public path
 
 
@@ -21,3 +22,64 @@ def series(results: Iterable, x_key: str, y_key: str) -> List[Dict[str, object]]
         row = result.as_row() if hasattr(result, "as_row") else dict(result)
         points.append({x_key: row.get(x_key), y_key: row.get(y_key)})
     return points
+
+
+def summarize_pareto(records: Sequence[Dict[str, object]]) -> str:
+    """The ``report pareto`` terminal summary for one energy export.
+
+    Validates the export, then *recomputes* the non-dominated front
+    from the ``energy`` records — the front is derived data, so a
+    hand-edited export can never smuggle in a stale ranking.  Entirely
+    deterministic; pinned by a golden-file test like ``report obs``.
+    """
+    # Imported here, not at module top: sweeps imports the runner stack,
+    # and this module is also consumed by leaf-ish tooling that only
+    # wants format_rows.
+    from repro.experiments.sweeps import PARETO_OBJECTIVES, ParetoFront
+
+    errors = validate_records(records)
+    if errors:
+        raise ValueError(
+            "invalid observation export:\n" + "\n".join(errors)
+        )
+    energy_records = [
+        record for record in records if record.get("record") == "energy"
+    ]
+    if not energy_records:
+        raise ValueError("export has no energy records")
+    front = ParetoFront.from_vectors([
+        (
+            str(record.get("cell", "")),
+            str(record["scenario"]),
+            str(record["approach"]),
+            {key: float(record[key]) for key, _max in PARETO_OBJECTIVES},
+        )
+        for record in energy_records
+    ])
+    objectives = " ".join(
+        f"{key}{'↑' if maximize else '↓'}"
+        for key, maximize in front.objectives
+    )
+    lines = [
+        f"pareto front — schema {SCHEMA_VERSION}, "
+        f"{len(energy_records)} cell(s), objectives: {objectives}",
+        "",
+        format_rows(front.rows()),
+        "",
+        "energy detail:",
+        format_rows([
+            {
+                "scenario": record["scenario"],
+                "approach": record["approach"],
+                "joules": record["joules"],
+                "joules_per_delivery": record["joules_per_delivery"],
+                "idle_joules": record["idle_joules"],
+                "active_joules": record["active_joules"],
+                "matching_joules": record["matching_joules"],
+                "transmission_joules": record["transmission_joules"],
+                "downtime_s": record["downtime_s"],
+            }
+            for record in energy_records
+        ]),
+    ]
+    return "\n".join(lines) + "\n"

@@ -30,6 +30,7 @@ from repro.core.config import RunConfig
 from repro.core.cram import CramAllocator, CramStats
 from repro.core.croc import Croc, GatherResult
 from repro.core.deployment import Deployment
+from repro.core.energy import EnergyReport, account_window
 from repro.core.grape import GrapeRelocator
 from repro.core.overlay_builder import OverlayBuilder
 from repro.core.pairwise import PairwiseKAllocator, PairwiseNAllocator
@@ -93,6 +94,11 @@ class ExperimentResult:
     #: wall-clock measurements, and the bit-identity contract compares
     #: rows.
     obs: Optional[Dict[str, object]] = None
+    #: Post-hoc energy accounting (``RunConfig.energy``).  Also
+    #: excluded from :meth:`as_row`: attaching the model must leave
+    #: every pre-existing output byte-identical, so energy gets its own
+    #: :meth:`energy_row` surface.
+    energy: Optional[EnergyReport] = None
 
     @property
     def message_rate_reduction(self) -> float:
@@ -119,6 +125,24 @@ class ExperimentResult:
             "computation_s": round(self.computation_seconds, 4),
         }
         row.update(self.summary.as_row())
+        return row
+
+    def energy_row(self) -> Dict[str, object]:
+        """Flat energy dict (raises when accounting was not attached)."""
+        if self.energy is None:
+            raise ValueError(
+                f"{self.scenario}/{self.approach}: no energy accounting "
+                "attached (set RunConfig.energy / --energy)"
+            )
+        row: Dict[str, object] = {
+            "approach": self.approach,
+            "subscriptions": self.total_subscriptions,
+        }
+        row.update(self.energy.as_row())
+        row["mean_delivery_delay_ms"] = round(
+            self.energy.mean_delay_s * 1000.0, 4
+        )
+        row["delivery_rate"] = round(self.energy.delivery_rate, 4)
         return row
 
 
@@ -328,6 +352,13 @@ class ExperimentRunner:
                 cram_stats = getattr(croc.last_allocator, "last_stats", None)
 
         obs_collect.add_network(network)
+        energy: Optional[EnergyReport] = None
+        if self.config.energy is not None:
+            # Post-hoc arithmetic over the already-built summary; the
+            # simulator is never touched, so every non-energy output is
+            # byte-identical with the model detached (pinned by
+            # tests/test_energy_equivalence.py).
+            energy = account_window(self.config.energy, summary.energy_usage())
         return ExperimentResult(
             approach=approach,
             scenario=scenario.name,
@@ -339,6 +370,7 @@ class ExperimentRunner:
             total_subscriptions=scenario.total_subscriptions,
             cram_stats=cram_stats,
             extra=extra,
+            energy=energy,
         )
 
     def _measure(
@@ -399,6 +431,7 @@ class ExperimentRunner:
             on_cycle_start=make_driver(network) if make_driver else None,
             online=online,
             planner=planner,
+            energy=self.config.energy,
         )
         self.last_continuous = loop
         reports = loop.run(network, cycles)

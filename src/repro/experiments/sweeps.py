@@ -3,13 +3,20 @@
 Each function regenerates one of the paper's figures at a caller-chosen
 scale and returns plain row dictionaries, so the same code backs the
 benchmark harness, the command-line interface, and ad-hoc notebook use.
+
+The multi-objective surface lives here too: :class:`ParetoFront` ranks
+approaches by non-dominated {allocated_brokers, joules, mean_delay,
+delivery_rate} vectors (the single-winner tables answer "who has the
+fewest brokers?"; the front answers "who is not strictly beaten?").
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, cast
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, cast
 
 from repro.core.config import RunConfig
+from repro.core.floats import approx_eq, approx_le
 from repro.experiments.parallel import CellSpec, execute_cells, run_spec
 from repro.experiments.runner import ExperimentResult
 from repro.sim.faults import FaultPlan
@@ -154,3 +161,182 @@ FIGURES: Dict[str, MetricKey] = {
     "broker-reduction": "broker_reduction_pct",
     "computation": "computation_s",
 }
+
+
+# ----------------------------------------------------------------------
+# Multi-objective Pareto front
+# ----------------------------------------------------------------------
+
+#: The green trade-off space: ``(metric key, maximize?)`` per
+#: objective.  Brokers, joules, and delay are minimized; delivery rate
+#: is maximized.
+PARETO_OBJECTIVES: Tuple[Tuple[str, bool], ...] = (
+    ("allocated_brokers", False),
+    ("joules", False),
+    ("mean_delay_ms", False),
+    ("delivery_rate", True),
+)
+
+
+@dataclass(frozen=True)
+class ParetoEntry:
+    """One (scenario, approach) point in objective space.
+
+    ``rank`` is its non-dominated-sorting depth within its scenario:
+    1 = on the front, 2 = on the front once rank-1 points are removed,
+    and so on.
+    """
+
+    cell: str
+    scenario: str
+    approach: str
+    vector: Tuple[float, ...]
+    rank: int
+
+
+def dominates(
+    first: Sequence[float],
+    second: Sequence[float],
+    objectives: Tuple[Tuple[str, bool], ...] = PARETO_OBJECTIVES,
+) -> bool:
+    """Pareto dominance with float slack.
+
+    ``first`` dominates ``second`` when it is no worse on every
+    objective (within :data:`~repro.core.floats.EPSILON`) and strictly
+    better on at least one.  Approximately equal vectors never dominate
+    each other, so ties share a rank instead of ordering arbitrarily.
+    """
+    strictly_better = False
+    for index, (_key, maximize) in enumerate(objectives):
+        a, b = first[index], second[index]
+        no_worse = approx_le(b, a) if maximize else approx_le(a, b)
+        if not no_worse:
+            return False
+        if not approx_eq(a, b):
+            strictly_better = True
+    return strictly_better
+
+
+@dataclass(frozen=True)
+class ParetoFront:
+    """Non-dominated sorting of (scenario, approach) metric vectors.
+
+    Dominance is only compared *within* a scenario (vectors from
+    different workloads are not comparable); entries are ordered by
+    (scenario, rank, approach), so the result is independent of input
+    order (pinned by ``tests/test_energy_properties.py``).
+    """
+
+    objectives: Tuple[Tuple[str, bool], ...]
+    entries: Tuple[ParetoEntry, ...]
+
+    @classmethod
+    def from_vectors(
+        cls,
+        items: Sequence[Tuple[str, str, str, Mapping[str, float]]],
+        objectives: Tuple[Tuple[str, bool], ...] = PARETO_OBJECTIVES,
+    ) -> "ParetoFront":
+        """Build from ``(cell, scenario, approach, metrics)`` tuples."""
+        points = sorted(
+            (
+                (
+                    scenario,
+                    approach,
+                    cell,
+                    tuple(float(metrics[key]) for key, _max in objectives),
+                )
+                for cell, scenario, approach, metrics in items
+            ),
+        )
+        by_scenario: Dict[str, List[Tuple[str, str, Tuple[float, ...]]]] = {}
+        for scenario, approach, cell, vector in points:
+            by_scenario.setdefault(scenario, []).append(
+                (approach, cell, vector)
+            )
+        entries: List[ParetoEntry] = []
+        for scenario in sorted(by_scenario):
+            remaining = list(by_scenario[scenario])
+            rank = 0
+            while remaining:
+                rank += 1
+                front = [
+                    point
+                    for point in remaining
+                    if not any(
+                        dominates(other[2], point[2], objectives)
+                        for other in remaining
+                        if other is not point
+                    )
+                ]
+                if not front:  # pragma: no cover - dominance is a strict
+                    break      # partial order, so a front always exists
+                for approach, cell, vector in front:
+                    entries.append(
+                        ParetoEntry(
+                            cell=cell,
+                            scenario=scenario,
+                            approach=approach,
+                            vector=vector,
+                            rank=rank,
+                        )
+                    )
+                remaining = [p for p in remaining if p not in front]
+        return cls(objectives=tuple(objectives), entries=tuple(entries))
+
+    def front(self) -> Tuple[ParetoEntry, ...]:
+        """The rank-1 (non-dominated) entries."""
+        return tuple(entry for entry in self.entries if entry.rank == 1)
+
+    def rank_of(self, scenario: str, approach: str) -> int:
+        """The rank of one cell (raises for unknown cells)."""
+        for entry in self.entries:
+            if entry.scenario == scenario and entry.approach == approach:
+                return entry.rank
+        raise KeyError(f"no pareto entry for {scenario}/{approach}")
+
+    def rows(self) -> List[dict]:
+        """Flat rows for the report tables, one per entry."""
+        rows = []
+        for entry in self.entries:
+            row: Dict[str, object] = {
+                "scenario": entry.scenario,
+                "approach": entry.approach,
+            }
+            for index, (key, _max) in enumerate(self.objectives):
+                value = entry.vector[index]
+                row[key] = (
+                    int(value) if key == "allocated_brokers"
+                    else round(value, 4)
+                )
+            row["rank"] = entry.rank
+            row["front"] = "*" if entry.rank == 1 else ""
+            rows.append(row)
+        return rows
+
+
+def pareto_front(
+    results: Mapping[Tuple[str, str], ExperimentResult],
+    objectives: Tuple[Tuple[str, bool], ...] = PARETO_OBJECTIVES,
+) -> ParetoFront:
+    """Extract the front from an energy-attached sweep.
+
+    Every result must carry energy accounting (``RunConfig.energy``);
+    :meth:`ExperimentResult.energy_row` raises otherwise.
+    """
+    items = []
+    for (scenario_name, approach), result in results.items():
+        if result.energy is None:
+            raise ValueError(
+                f"{scenario_name}/{approach}: pareto extraction needs "
+                "energy accounting (set RunConfig.energy / --energy)"
+            )
+        metrics = {
+            "allocated_brokers": float(result.allocated_brokers),
+            "joules": result.energy.joules,
+            "mean_delay_ms": result.summary.mean_delivery_delay * 1000.0,
+            "delivery_rate": result.summary.delivery_rate,
+        }
+        items.append(
+            (f"{scenario_name}/{approach}", scenario_name, approach, metrics)
+        )
+    return ParetoFront.from_vectors(items, objectives)

@@ -54,6 +54,7 @@ def network_counters(network) -> Dict[str, float]:
         "metrics.rollbacks": metrics.rollbacks,
         "metrics.subscriptions_migrated": metrics.subscriptions_migrated,
         "metrics.migration_gap_s": metrics.migration_gap_s,
+        "metrics.broker_downtime_s": metrics.broker_downtime_s,
     })
     return counters
 

@@ -18,10 +18,40 @@ from __future__ import annotations
 import json
 from typing import Dict, List, Sequence, Tuple
 
-#: Bump on any backwards-incompatible record-shape change.
+#: Bump on any backwards-incompatible record-shape change.  Adding the
+#: ``energy`` / ``pareto`` kinds was additive (old readers skip unknown
+#: kinds; old exports stay valid), so the version did not bump.
 SCHEMA_VERSION = "repro-obs/1"
 
-RECORD_KINDS = ("header", "counter", "span", "sample")
+RECORD_KINDS = ("header", "counter", "span", "sample", "energy", "pareto")
+
+#: The non-negative numeric fields of an ``energy`` record.
+ENERGY_NUMBER_FIELDS = (
+    "allocated_brokers", "duration_s", "joules", "idle_joules",
+    "active_joules", "matching_joules", "transmission_joules",
+    "crashed_joules", "downtime_s", "migration_gap_s", "deliveries",
+    "joules_per_delivery", "mean_delay_ms",
+)
+
+
+def energy_export(
+    cells: Sequence[Tuple[str, Dict[str, object]]],
+) -> List[Dict[str, object]]:
+    """Flatten ``(label, energy/pareto record dict)`` pairs.
+
+    Same header convention as :func:`merge_observations`; the records
+    themselves are built by the energy layer
+    (:meth:`repro.core.energy.EnergyReport.export_record`) and the
+    Pareto extractor — this helper only frames them.
+    """
+    records: List[Dict[str, object]] = [{
+        "record": "header",
+        "schema": SCHEMA_VERSION,
+        "cells": [label for label, _ in cells],
+    }]
+    for _label, record in cells:
+        records.append(dict(record))
+    return records
 
 
 def merge_observations(
@@ -154,6 +184,21 @@ def validate_records(records: Sequence[Dict[str, object]]) -> List[str]:
             if (isinstance(start, (int, float)) and isinstance(end, (int, float))
                     and end < start):
                 errors.append(f"{where}: span ends at {end!r} before {start!r}")
+        elif kind == "energy":
+            for key in ("scenario", "approach"):
+                if not isinstance(record.get(key), str):
+                    errors.append(f"{where}: energy without a {key}")
+            for key in ENERGY_NUMBER_FIELDS:
+                _check_number(record, key, errors, where)
+            rate = record.get("delivery_rate")
+            _check_number(record, "delivery_rate", errors, where)
+            if isinstance(rate, (int, float)) and rate > 1.0:
+                errors.append(f"{where}: delivery_rate above 1.0: {rate!r}")
+        elif kind == "pareto":
+            _check_number(record, "rank", errors, where, minimum=1.0)
+            rank = record.get("rank")
+            if isinstance(rank, float) and not rank.is_integer():
+                errors.append(f"{where}: rank is not an integer: {rank!r}")
         elif kind == "sample":
             _check_number(record, "t", errors, where, minimum=float("-inf"))
             t = record.get("t")

@@ -103,7 +103,7 @@ class FaultInjector:
         broker.local_clients.update(clients)
         self.down_brokers.add(broker_id)
         self.crashes += 1
-        self._network.metrics.on_broker_crash()
+        self._network.metrics.on_broker_crash(broker_id)
 
     def recover_now(self, broker_id: str) -> None:
         """Bring a crashed broker back as a blank process."""
@@ -111,7 +111,7 @@ class FaultInjector:
             return
         self.down_brokers.discard(broker_id)
         self.recoveries += 1
-        self._network.metrics.on_broker_recovery()
+        self._network.metrics.on_broker_recovery(broker_id)
 
     # ------------------------------------------------------------------
     # Per-hop queries (called by the network on every transmission)

@@ -16,7 +16,9 @@ allocated.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.energy import WindowUsage
 
 
 @dataclass
@@ -73,6 +75,15 @@ class MetricsSummary:
     #: the summed virtual seconds their owners spent detached.
     subscriptions_migrated: int = 0
     migration_gap_s: float = 0.0
+    #: Per-broker detail backing the energy model (``energy_usage``):
+    #: the allocated broker ids in deployment order, their per-window
+    #: output kB / bandwidth utilization, and virtual seconds each
+    #: spent crashed *within this window* (clamped at the window edge,
+    #: so a broker down across a reset is charged in both windows).
+    active_broker_ids: Tuple[str, ...] = ()
+    per_broker_bytes_out_kb: Dict[str, float] = field(default_factory=dict)
+    per_broker_utilization: Dict[str, float] = field(default_factory=dict)
+    per_broker_downtime_s: Dict[str, float] = field(default_factory=dict)
 
     @property
     def delivery_rate(self) -> float:
@@ -114,6 +125,9 @@ class MetricsSummary:
             "gather_retries": self.gather_retries,
             "degraded_plans": self.degraded_plans,
             "rollbacks": self.rollbacks,
+            "broker_downtime_s": round(
+                sum(self.per_broker_downtime_s.values()), 4
+            ),
         }
 
     def migration_row(self) -> Dict[str, float]:
@@ -123,6 +137,32 @@ class MetricsSummary:
             "migration_gap_s": round(self.migration_gap_s, 4),
             "delivery_rate": round(self.delivery_rate, 4),
         }
+
+    def energy_usage(self) -> WindowUsage:
+        """This window's counters projected for the energy model.
+
+        A pure copy of already-measured numbers — building it never
+        touches the simulator, so energy accounting stays bit-identical
+        on every non-energy output.  Per-broker message counts are
+        reconstructed as ``rate * duration`` (the summary stores
+        rates); the round trip is deterministic.
+        """
+        return WindowUsage(
+            duration_s=self.duration,
+            pool_size=self.pool_size,
+            active_brokers=self.active_broker_ids,
+            messages={
+                broker_id: rate * self.duration
+                for broker_id, rate in self.per_broker_rates.items()
+            },
+            bytes_out_kb=dict(self.per_broker_bytes_out_kb),
+            utilization=dict(self.per_broker_utilization),
+            downtime_s=dict(self.per_broker_downtime_s),
+            deliveries=self.delivery_count,
+            mean_delay_s=self.mean_delivery_delay,
+            delivery_rate=self.delivery_rate,
+            migration_gap_s=self.migration_gap_s,
+        )
 
 
 class MetricsCollector:
@@ -143,6 +183,12 @@ class MetricsCollector:
         # happens between windows, so these survive reset_window).
         self._broker_crashes = 0
         self._broker_recoveries = 0
+        # Per-window crash downtime: completed intervals accumulate in
+        # _downtime_s; _down_since holds the open interval per crashed
+        # broker, re-pinned to the window start on reset so a broker
+        # down across windows is charged in each.
+        self._down_since: Dict[str, float] = {}
+        self._downtime_s: Dict[str, float] = {}
         self._gather_retries = 0
         self._degraded_plans = 0
         self._rollbacks = 0
@@ -191,11 +237,26 @@ class MetricsCollector:
         if is_publication:
             self._publications_lost += 1
 
-    def on_broker_crash(self) -> None:
-        self._broker_crashes += 1
+    def on_broker_crash(self, broker_id: Optional[str] = None) -> None:
+        """A broker crashed now; start its open downtime interval.
 
-    def on_broker_recovery(self) -> None:
+        ``self._sim.now`` may legitimately be 0.0 (a crash at t=0), so
+        the open interval is tracked by key presence in
+        ``_down_since`` — never by truthiness of the timestamp.
+        """
+        self._broker_crashes += 1
+        if broker_id is not None and broker_id not in self._down_since:
+            self._down_since[broker_id] = self._sim.now
+
+    def on_broker_recovery(self, broker_id: Optional[str] = None) -> None:
         self._broker_recoveries += 1
+        if broker_id is not None and broker_id in self._down_since:
+            since = self._down_since.pop(broker_id)
+            interval = self._sim.now - max(since, self._window_start)
+            if interval > 0.0:
+                self._downtime_s[broker_id] = (
+                    self._downtime_s.get(broker_id, 0.0) + interval
+                )
 
     def on_gather_retry(self) -> None:
         """A CROC gather attempt timed out and is being retried."""
@@ -283,6 +344,16 @@ class MetricsCollector:
     def migration_gap_s(self) -> float:
         return self._migration_gap_s
 
+    @property
+    def broker_downtime_s(self) -> float:
+        """Summed per-window crash downtime (completed + open intervals)."""
+        total = sum(self._downtime_s.values())
+        for since in self._down_since.values():
+            open_interval = self._sim.now - max(since, self._window_start)
+            if open_interval > 0.0:
+                total += open_interval
+        return total
+
     # ------------------------------------------------------------------
     # Windows
     # ------------------------------------------------------------------
@@ -296,6 +367,15 @@ class MetricsCollector:
         self._delivery_count = 0
         self._messages_lost = 0
         self._publications_lost = 0
+        # Downtime is per-window: drop completed intervals and re-pin
+        # still-down brokers to the new window start, so their open
+        # interval is charged within this window only.  (Clearing
+        # _down_since here instead would be the t=0-crash bug: a broker
+        # that crashed before the first reset would report zero
+        # downtime forever.)
+        self._downtime_s.clear()
+        for broker_id in sorted(self._down_since):
+            self._down_since[broker_id] = self._window_start
 
     @property
     def window_start(self) -> float:
@@ -323,6 +403,7 @@ class MetricsCollector:
             else 0.0
         )
         utilizations: List[float] = []
+        per_broker_utilization: Dict[str, float] = {}
         if bandwidth_by_broker:
             for broker_id in active_brokers:
                 capacity = bandwidth_by_broker.get(broker_id, 0.0)
@@ -330,7 +411,22 @@ class MetricsCollector:
                     continue
                 counters = self._counters.get(broker_id)
                 used = counters.bytes_out_kb / duration if counters else 0.0
-                utilizations.append(min(1.0, used / capacity))
+                utilization = min(1.0, used / capacity)
+                utilizations.append(utilization)
+                per_broker_utilization[broker_id] = utilization
+        per_broker_bytes = {
+            broker_id: counters.bytes_out_kb
+            for broker_id, counters in self._counters.items()
+        }
+        # Per-window downtime: completed intervals plus the open one of
+        # each still-down broker, clamped to this window.
+        per_broker_downtime = dict(self._downtime_s)
+        for broker_id, since in self._down_since.items():
+            open_interval = self._sim.now - max(since, self._window_start)
+            if open_interval > 0.0:
+                per_broker_downtime[broker_id] = (
+                    per_broker_downtime.get(broker_id, 0.0) + open_interval
+                )
         return MetricsSummary(
             duration=duration,
             pool_size=pool_size,
@@ -362,4 +458,8 @@ class MetricsCollector:
             rollbacks=self._rollbacks,
             subscriptions_migrated=self._subscriptions_migrated,
             migration_gap_s=self._migration_gap_s,
+            active_broker_ids=tuple(active_brokers),
+            per_broker_bytes_out_kb=per_broker_bytes,
+            per_broker_utilization=per_broker_utilization,
+            per_broker_downtime_s=per_broker_downtime,
         )

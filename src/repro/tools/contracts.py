@@ -44,6 +44,15 @@ Several families of checks, all whole-program:
   caller's container silently breaks that bit-identity guarantee, so
   the pass catches the shape statically.
 
+* **Energy float comparisons** — a function whose name marks it as
+  part of the energy model (``energy`` / ``watts``) and whose return
+  annotation is ``float`` must not compare with raw operators
+  (``<`` ``<=`` ``>`` ``>=`` ``==`` ``!=``): joule and watt totals are
+  sums of float products, so ordering/equality decisions must go
+  through the :mod:`repro.core.floats` helpers (``approx_le``,
+  ``approx_ge``, ``approx_eq``, ``approx_zero``) or the Pareto ranking
+  silently flips on accumulation noise.
+
 * **Engine queue encapsulation** — ``heapq`` imports and ``heapq.*``
   calls are allowed only in :mod:`repro.sim.engine`.  The event queue
   is the engine's private structure; a heap maintained anywhere else
@@ -74,7 +83,9 @@ _SPEC_CLASS_NAME = "AllocatorSpec"
 #: layer is an import leaf (it may not import repro.core), so the
 #: vocabulary is duplicated here; ``tests/test_reprolint.py`` pins the
 #: two sets equal so they cannot drift apart.
-KNOWN_CAPABILITIES = frozenset({"incremental", "sharded", "kernel_aware"})
+KNOWN_CAPABILITIES = frozenset(
+    {"incremental", "sharded", "kernel_aware", "energy_aware"}
+)
 
 
 # ----------------------------------------------------------------------
@@ -523,6 +534,60 @@ def _shard_merge_findings(info: ModuleInfo) -> Iterator[Finding]:
 
 
 # ----------------------------------------------------------------------
+# Energy float comparisons
+# ----------------------------------------------------------------------
+
+#: Name fragments that mark a function as part of the energy model.
+_ENERGY_HINTS = ("energy", "watts")
+
+#: The raw comparison operators the energy model may not use directly.
+_RAW_COMPARE_OPS = (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq)
+
+
+def _is_energy_float_function(
+    func: "ast.FunctionDef | ast.AsyncFunctionDef",
+) -> bool:
+    lowered = func.name.lower()
+    if not any(hint in lowered for hint in _ENERGY_HINTS):
+        return False
+    returns = func.returns
+    if isinstance(returns, ast.Name):
+        return returns.id == "float"
+    if isinstance(returns, ast.Constant):  # string annotation
+        return returns.value == "float"
+    return False
+
+
+def _energy_comparison_findings(info: ModuleInfo) -> Iterator[Finding]:
+    seen_sites: Set[Tuple[int, int]] = set()
+    for node in ast.walk(info.module.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if not _is_energy_float_function(node):
+            continue
+        for inner in ast.walk(node):
+            if not isinstance(inner, ast.Compare):
+                continue
+            if not any(isinstance(op, _RAW_COMPARE_OPS) for op in inner.ops):
+                continue
+            site = (inner.lineno, inner.col_offset)
+            if site in seen_sites:  # nested matching defs walk twice
+                continue
+            seen_sites.add(site)
+            yield Finding(
+                info.path,
+                inner.lineno,
+                inner.col_offset,
+                "api-contract",
+                f"energy-model function {node.name!r} (returns float) "
+                "uses a raw comparison operator; joule/watt totals are "
+                "float accumulations — route the comparison through "
+                "repro.core.floats (approx_le / approx_ge / approx_eq "
+                "/ approx_zero)",
+            )
+
+
+# ----------------------------------------------------------------------
 # Engine queue encapsulation
 # ----------------------------------------------------------------------
 
@@ -578,7 +643,8 @@ def _heapq_findings(info: ModuleInfo) -> Iterator[Finding]:
     "registered allocator builders must be picklable module-level "
     "callables keeping allocate(self, units, pool, directory); __all__ "
     "must be consistent and free of dead exports; shard-merge helpers "
-    "must not iterate dict views or sets of their inputs; heapq stays "
+    "must not iterate dict views or sets of their inputs; energy-model "
+    "float functions must compare via repro.core.floats; heapq stays "
     "encapsulated in repro.sim.engine",
 )
 def check_api_contract(project: Project) -> List[Finding]:
@@ -614,6 +680,7 @@ def check_api_contract(project: Project) -> List[Finding]:
 
     for name in sorted(project.modules):
         findings.extend(_shard_merge_findings(project.modules[name]))
+        findings.extend(_energy_comparison_findings(project.modules[name]))
         findings.extend(_heapq_findings(project.modules[name]))
 
     # Name-reference index for the dead-export scan: everything any

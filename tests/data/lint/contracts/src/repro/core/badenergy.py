@@ -1,0 +1,40 @@
+"""Fixture: energy-model float functions comparing with raw operators."""
+
+from __future__ import annotations
+
+
+def idle_energy_joules(duration_s: float, watts: float) -> float:
+    if duration_s <= 0.0:  # seeded violation: raw <= in an energy fn
+        return 0.0
+    return duration_s * watts
+
+
+def peak_watts(samples) -> float:
+    best = 0.0
+    for sample in samples:
+        if sample > best:  # seeded violation: raw > in a watts fn
+            best = sample
+    return best
+
+
+def mean_watts(joules: float, duration_s: float) -> float:
+    # Negative control: comparisons routed through the floats helpers.
+    from repro.core.floats import approx_zero
+
+    if approx_zero(duration_s):
+        return 0.0
+    return joules / duration_s
+
+
+def mean_delay_ms(total: float, count: float) -> float:
+    # Negative control: float return but not an energy-model name.
+    if count <= 0.0:
+        return 0.0
+    return total / count
+
+
+def energy_label(joules: float) -> str:
+    # Negative control: energy name but not a float return.
+    if joules > 1000.0:
+        return "hot"
+    return "cool"

@@ -1,0 +1,201 @@
+"""Property tests for the energy model and the Pareto front.
+
+Hypothesis-driven invariants:
+
+* the extracted front is actually non-dominated, and the full ranking
+  is independent of input order;
+* window energy is monotone in every watts knob and additive across
+  brokers;
+* joules per delivered publication is never negative.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.energy import EnergySpec, WindowUsage, account_window
+from repro.experiments.sweeps import PARETO_OBJECTIVES, ParetoFront, dominates
+
+finite = st.floats(min_value=0.0, max_value=1e3, allow_nan=False,
+                   allow_infinity=False)
+
+specs = st.builds(
+    EnergySpec,
+    idle_watts=finite,
+    active_watts=finite,
+    matching_joules=finite,
+    transmission_joules_per_kb=finite,
+    crashed_watts=finite,
+)
+
+
+@st.composite
+def usages(draw):
+    broker_count = draw(st.integers(min_value=0, max_value=6))
+    brokers = tuple(f"B{i}" for i in range(broker_count))
+    duration = draw(st.floats(min_value=0.0, max_value=100.0,
+                              allow_nan=False, allow_infinity=False))
+
+    def per_broker(value_strategy):
+        return {broker: draw(value_strategy) for broker in brokers}
+
+    return WindowUsage(
+        duration_s=duration,
+        pool_size=draw(st.integers(min_value=broker_count, max_value=12)),
+        active_brokers=brokers,
+        messages=per_broker(finite),
+        bytes_out_kb=per_broker(finite),
+        utilization=per_broker(
+            st.floats(min_value=-0.5, max_value=1.5,
+                      allow_nan=False, allow_infinity=False)
+        ),
+        downtime_s=per_broker(
+            st.floats(min_value=-1.0, max_value=150.0,
+                      allow_nan=False, allow_infinity=False)
+        ),
+        deliveries=draw(st.integers(min_value=0, max_value=10_000)),
+        mean_delay_s=draw(finite),
+        delivery_rate=draw(st.floats(min_value=0.0, max_value=1.0,
+                                     allow_nan=False, allow_infinity=False)),
+    )
+
+
+# Objective vectors stay in a moderate range so dominance comparisons
+# exercise both clear wins and EPSILON-scale ties.
+vectors = st.tuples(
+    st.integers(min_value=1, max_value=12).map(float),  # allocated_brokers
+    st.floats(min_value=0.0, max_value=1e4, allow_nan=False,
+              allow_infinity=False),                    # joules
+    st.floats(min_value=0.0, max_value=1e3, allow_nan=False,
+              allow_infinity=False),                    # mean_delay_ms
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False,
+              allow_infinity=False),                    # delivery_rate
+)
+
+
+def front_items(points):
+    keys = [key for key, _max in PARETO_OBJECTIVES]
+    return [
+        (f"scn/a{i}", "scn", f"a{i}", dict(zip(keys, vector)))
+        for i, vector in enumerate(points)
+    ]
+
+
+class TestParetoFrontProperties:
+    @settings(max_examples=60)
+    @given(st.lists(vectors, min_size=1, max_size=8))
+    def test_front_is_non_dominated(self, points):
+        front = ParetoFront.from_vectors(front_items(points))
+        assert front.entries  # every point lands in some rank
+        assert len(front.entries) == len(points)
+        rank1 = front.front()
+        assert rank1
+        for entry in rank1:
+            assert entry.rank == 1
+            for other in front.entries:
+                assert not dominates(other.vector, entry.vector)
+
+    @settings(max_examples=60)
+    @given(st.lists(vectors, min_size=1, max_size=8))
+    def test_deeper_ranks_are_dominated_by_shallower_ones(self, points):
+        front = ParetoFront.from_vectors(front_items(points))
+        for entry in front.entries:
+            if entry.rank == 1:
+                continue
+            shallower = [
+                other.vector for other in front.entries
+                if other.rank == entry.rank - 1
+            ]
+            assert any(
+                dominates(vector, entry.vector) for vector in shallower
+            )
+
+    @settings(max_examples=40)
+    @given(
+        st.lists(vectors, min_size=1, max_size=7).flatmap(
+            lambda points: st.tuples(
+                st.just(points),
+                st.permutations(list(range(len(points)))),
+            )
+        )
+    )
+    def test_ranking_is_order_independent(self, points_and_perm):
+        points, perm = points_and_perm
+        original = ParetoFront.from_vectors(front_items(points))
+        keys = [key for key, _max in PARETO_OBJECTIVES]
+        shuffled_items = [
+            (f"scn/a{i}", "scn", f"a{i}", dict(zip(keys, points[i])))
+            for i in perm
+        ]
+        again = ParetoFront.from_vectors(shuffled_items)
+        assert again.entries == original.entries
+
+    @settings(max_examples=40)
+    @given(st.lists(vectors, min_size=1, max_size=8))
+    def test_rank_of_agrees_with_entries(self, points):
+        front = ParetoFront.from_vectors(front_items(points))
+        for entry in front.entries:
+            assert front.rank_of(entry.scenario, entry.approach) == entry.rank
+
+
+class TestEnergyModelProperties:
+    @settings(max_examples=80)
+    @given(usages(), specs, finite)
+    def test_energy_monotone_in_idle_watts(self, usage, spec, extra):
+        lower = account_window(spec, usage)
+        higher = account_window(
+            EnergySpec(
+                idle_watts=spec.idle_watts + extra,
+                active_watts=spec.active_watts,
+                matching_joules=spec.matching_joules,
+                transmission_joules_per_kb=spec.transmission_joules_per_kb,
+                crashed_watts=spec.crashed_watts,
+            ),
+            usage,
+        )
+        assert higher.joules >= lower.joules
+
+    @settings(max_examples=80)
+    @given(usages(), specs, finite)
+    def test_energy_monotone_in_active_watts(self, usage, spec, extra):
+        lower = account_window(spec, usage)
+        higher = account_window(
+            EnergySpec(
+                idle_watts=spec.idle_watts,
+                active_watts=spec.active_watts + extra,
+                matching_joules=spec.matching_joules,
+                transmission_joules_per_kb=spec.transmission_joules_per_kb,
+                crashed_watts=spec.crashed_watts,
+            ),
+            usage,
+        )
+        assert higher.joules >= lower.joules
+
+    @settings(max_examples=80)
+    @given(usages(), specs)
+    def test_energy_additive_across_brokers(self, usage, spec):
+        whole = account_window(spec, usage)
+        parts = 0.0
+        for broker in usage.active_brokers:
+            single = WindowUsage(
+                duration_s=usage.duration_s,
+                pool_size=usage.pool_size,
+                active_brokers=(broker,),
+                messages=usage.messages,
+                bytes_out_kb=usage.bytes_out_kb,
+                utilization=usage.utilization,
+                downtime_s=usage.downtime_s,
+                deliveries=usage.deliveries,
+            )
+            parts += account_window(spec, single).joules
+        assert whole.joules == parts
+
+    @settings(max_examples=80)
+    @given(usages(), specs)
+    def test_joules_per_delivery_never_negative(self, usage, spec):
+        report = account_window(spec, usage)
+        assert report.joules_per_delivery >= 0.0
+        assert report.joules >= 0.0
+        assert report.mean_watts >= 0.0
+        assert report.downtime_s >= 0.0

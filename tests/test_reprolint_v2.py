@@ -87,6 +87,18 @@ def test_contract_fixture_flags_all_families():
     # Negative controls: name gate and parameter gate both hold.
     assert not any("merge_rows" in message for message in messages)
     assert not any("collect_shard_stats" in message for message in messages)
+    # Energy model: raw comparisons in float-returning *energy*/*watts*
+    # functions are caught ...
+    assert any(
+        "'idle_energy_joules'" in message and "raw comparison" in message
+        for message in messages
+    )
+    assert any("'peak_watts'" in message for message in messages)
+    # ... while routed comparisons, non-energy names, and non-float
+    # returns all stay clean.
+    assert not any("'mean_watts'" in message for message in messages)
+    assert not any("'mean_delay_ms'" in message for message in messages)
+    assert not any("'energy_label'" in message for message in messages)
     # Engine queue encapsulation: import, from-import, and call forms
     # are all caught outside repro.sim.engine ...
     heapq_findings = [
